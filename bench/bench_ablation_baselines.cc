@@ -1,0 +1,60 @@
+// Ablation A4: baselines panorama + estimate quality.
+//
+// Compares the paper's best pull scheduler against the no-information
+// baseline (workqueue) and the dynamic-information baseline (XSufferage,
+// related work Sec. 6) while degrading the platform estimates XSufferage
+// depends on. The paper's Sec. 2.4 thesis regenerated as a curve:
+// data-placement information is cheap and sufficient; dynamic estimates
+// are a liability unless they are nearly perfect.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace wcs;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  workload::Job job = bench::paper_workload(opt);
+  auto seeds = opt.topology_seeds();
+
+  sched::SchedulerSpec wq;
+  wq.algorithm = sched::Algorithm::kWorkqueue;
+  sched::SchedulerSpec xs;
+  xs.algorithm = sched::Algorithm::kXSufferage;
+  sched::SchedulerSpec rest2;
+  rest2.algorithm = sched::Algorithm::kRest;
+  rest2.choose_n = 2;
+
+  std::cout << "Ablation A4: baselines vs estimate quality "
+               "(makespan, minutes; Table 1 defaults)\n\n";
+  std::cout << std::left << std::setw(22) << "estimate error" << std::right
+            << std::setw(16) << "workqueue" << std::setw(16) << "xsufferage"
+            << std::setw(16) << "rest.2" << '\n';
+
+  for (double error : {0.0, 1.0, 3.0, 9.0}) {
+    grid::GridConfig c = bench::paper_config();
+    c.estimate_error = error;
+    std::cout << std::left << std::setw(22)
+              << (error == 0 ? std::string("exact")
+                             : "x" + std::to_string(1.0 + error).substr(0, 4));
+    for (const auto& spec : {wq, xs, rest2}) {
+      double makespan = 0;
+      for (std::uint64_t seed : seeds)
+        makespan += grid::run_once(c, job, spec, seed).makespan_minutes() /
+                    static_cast<double>(seeds.size());
+      std::cout << std::right << std::fixed << std::setprecision(0)
+                << std::setw(16) << makespan;
+      bench::progress(spec.name() + " @ error " + std::to_string(error));
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nreading: workqueue and rest.2 never read estimates "
+               "(columns constant).\nxsufferage tolerates static per-site "
+               "estimate bias (within-site rankings are\nscale-invariant) "
+               "and only extreme error misroutes tasks; the case against\n"
+               "estimate-driven scheduling is availability/temporal "
+               "variance, not static bias.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation A3 (DESIGN.md §4): data-server eviction policy (LRU / FIFO /
+// MinRef) under the tight-capacity regime (3000 files), where policy
+// actually matters. The paper fixes its replacement policy implicitly;
+// this bench shows how much of the small-capacity behaviour is policy-
+// dependent.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace wcs;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  workload::Job job = bench::paper_workload(opt);
+  auto seeds = opt.topology_seeds();
+
+  std::vector<sched::SchedulerSpec> specs;
+  sched::SchedulerSpec rest;
+  rest.algorithm = sched::Algorithm::kRest;
+  sched::SchedulerSpec sa;
+  sa.algorithm = sched::Algorithm::kStorageAffinity;
+  specs = {rest, sa};
+
+  for (std::size_t cap : {3000u, 6000u}) {
+    for (auto policy :
+         {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
+          storage::EvictionPolicy::kMinRef}) {
+      grid::GridConfig c = bench::paper_config();
+      c.capacity_files = cap;
+      c.eviction = policy;
+      auto rows = grid::run_matrix(
+          c, job, specs, seeds, [&](const std::string& s) {
+            bench::progress(std::string(storage::to_string(policy)) + " @" +
+                            std::to_string(cap) + ": " + s);
+          });
+      grid::print_table(std::cout,
+                        std::string("Ablation A3: eviction = ") +
+                            storage::to_string(policy) + ", capacity " +
+                            std::to_string(cap),
+                        rows);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Figure 5: number of file transfers (per data server,
+// averaged over sites — see DESIGN.md §4 note) with different capacities.
+//
+// Expected shape (paper Sec. 5.4): overlap usually has a higher number of
+// file transfers than the other worker-centric metrics; storage affinity
+// transfers fall with capacity as premature decisions stop being punished.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace wcs;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  workload::Job job = bench::paper_workload(opt);
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  auto seeds = opt.topology_seeds();
+
+  std::vector<std::size_t> capacities{3000, 6000, 15000, 30000};
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t cap : capacities) {
+    grid::GridConfig c = bench::paper_config();
+    c.capacity_files = cap;
+    bench::SweepPoint pt;
+    pt.x = static_cast<double>(cap);
+    pt.x_label = std::to_string(cap);
+    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
+      bench::progress("capacity " + pt.x_label + ": " + s);
+    });
+    points.push_back(std::move(pt));
+  }
+
+  bench::emit_series("Figure 5: file transfers vs data-server capacity",
+                     "capacity_files", points,
+                     [](const metrics::AveragedResult& r) {
+                       return r.transfers_per_site;
+                     },
+                     "file transfers per data server", opt);
+  return 0;
+}

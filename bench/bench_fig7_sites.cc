@@ -1,0 +1,41 @@
+// Reproduces paper Figure 7: makespan with different numbers of sites
+// (10..26; capacity 6000, 1 worker/site).
+//
+// Expected shape (paper Sec. 5.6): makespan falls as sites are added;
+// combined.2 performs best; randomized variants beat their deterministic
+// counterparts.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace wcs;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  workload::Job job = bench::paper_workload(opt);
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  auto seeds = opt.topology_seeds();
+
+  std::vector<int> site_counts{10, 14, 18, 22, 26};
+  if (opt.fast) site_counts = {10, 18, 26};
+  std::vector<bench::SweepPoint> points;
+  for (int sites : site_counts) {
+    grid::GridConfig c = bench::paper_config();
+    c.tiers.num_sites = sites;
+    bench::SweepPoint pt;
+    pt.x = sites;
+    pt.x_label = std::to_string(sites);
+    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
+      bench::progress(pt.x_label + " sites: " + s);
+    });
+    points.push_back(std::move(pt));
+  }
+
+  bench::emit_series("Figure 7: makespan vs number of sites", "num_sites",
+                     points,
+                     [](const metrics::AveragedResult& r) {
+                       return r.makespan_minutes;
+                     },
+                     "makespan (minutes)", opt);
+  return 0;
+}

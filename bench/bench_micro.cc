@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks for the hot paths: event kernel
+// throughput, max-min reallocation, scheduler weight scans, cache churn.
+// These guard the "6,000-task experiment in seconds" property the figure
+// benches rely on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "grid/grid_simulation.h"
+#include "net/flow_manager.h"
+#include "net/tiers.h"
+#include "sched/factory.h"
+#include "sim/simulator.h"
+#include "storage/file_cache.h"
+#include "workload/coadd.h"
+
+namespace {
+
+using namespace wcs;
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i)
+      sim.schedule_in((i * 37) % 1000, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventKernel);
+
+void BM_FlowReallocation(benchmark::State& state) {
+  const int kFlows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::TiersParams tp;
+    tp.num_sites = 10;
+    net::GridTopology g = net::build_tiers_topology(tp);
+    net::FlowManager flows(sim, g.topology);
+    for (int i = 0; i < kFlows; ++i)
+      flows.start_flow(g.file_server_node,
+                       g.data_server_nodes[i % g.data_server_nodes.size()],
+                       megabytes(25), [](FlowId) {});
+    sim.run();
+    benchmark::DoNotOptimize(flows.completed_flows());
+  }
+  state.SetItemsProcessed(state.iterations() * kFlows);
+}
+BENCHMARK(BM_FlowReallocation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CacheChurn(benchmark::State& state) {
+  storage::FileCache cache(6000, storage::EvictionPolicy::kLru);
+  unsigned i = 0;
+  for (auto _ : state) {
+    FileId f(i % 20000);
+    if (!cache.contains(f)) cache.insert(f);
+    cache.record_access(f);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheChurn);
+
+void BM_SchedulerWeightScan(benchmark::State& state) {
+  // Full worker-centric request cycle cost on a paper-scale pending set.
+  workload::CoaddParams cp;
+  cp.num_tasks = static_cast<std::size_t>(state.range(0));
+  auto job = workload::generate_coadd(cp);
+  grid::GridConfig config;
+  config.tiers.num_sites = 10;
+  config.capacity_files = 6000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sched::SchedulerSpec spec;
+    spec.algorithm = sched::Algorithm::kCombined;
+    grid::GridSimulation sim(config, job, sched::make_scheduler(spec));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run().makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerWeightScan)->Unit(benchmark::kMillisecond)->Arg(1000);
+
+void BM_CoaddGeneration(benchmark::State& state) {
+  workload::CoaddParams cp;
+  cp.num_tasks = 6000;
+  for (auto _ : state) {
+    auto job = workload::generate_coadd(cp);
+    benchmark::DoNotOptimize(job.tasks.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 6000);
+}
+BENCHMARK(BM_CoaddGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces paper Table 3: the rest metric's per-site data-server
+// behaviour at 2, 4, 6, and 8 workers per site — average waiting time
+// (hours), transfer time (hours), and number of file transfers.
+//
+// Expected shape (paper Sec. 5.5): transfers and transfer time fall
+// monotonically with more workers (more sharing), but waiting time peaks
+// at an intermediate worker count — the serial data server's queue is the
+// bottleneck.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace wcs;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  workload::Job job = bench::paper_workload(opt);
+  sched::SchedulerSpec rest;
+  rest.algorithm = sched::Algorithm::kRest;
+  auto seeds = opt.topology_seeds();
+
+  std::cout << "Table 3. rest metric, per-site averages (paper trend: "
+               "waiting peaks mid, transfers fall)\n\n";
+  std::cout << std::left << std::setw(12) << "workers" << std::right
+            << std::setw(18) << "waiting (hrs)" << std::setw(18)
+            << "transfer (hrs)" << std::setw(20) << "# file transfers"
+            << '\n';
+
+  std::vector<std::array<double, 4>> rows;
+  for (int workers : {2, 4, 6, 8}) {
+    grid::GridConfig c = bench::paper_config();
+    c.tiers.workers_per_site = workers;
+    auto avg = grid::run_averaged(c, job, rest, seeds);
+    std::cout << std::left << std::setw(12) << workers << std::right
+              << std::fixed << std::setprecision(2) << std::setw(18)
+              << avg.waiting_hours_per_site << std::setw(18)
+              << avg.transfer_hours_per_site << std::setw(20)
+              << std::setprecision(1) << avg.transfers_per_site << '\n';
+    rows.push_back({static_cast<double>(workers), avg.waiting_hours_per_site,
+                    avg.transfer_hours_per_site, avg.transfers_per_site});
+  }
+
+  if (opt.csv_path) {
+    CsvWriter csv(*opt.csv_path);
+    csv.header({"workers", "waiting_hours", "transfer_hours",
+                "file_transfers"});
+    for (const auto& r : rows) csv.row(r[0], r[1], r[2], r[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Shared bench-harness utilities.
+//
+// Every bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §4). They share the measurement protocol: fixed workload, 5
+// topology seeds, all six Sec. 5.3 algorithms, averaged rows. Options:
+//
+//   --tasks N      workload size (default 6000 = the paper's slice)
+//   --seeds K      topology repetitions (default 5)
+//   --csv PATH     also write the series as CSV
+//   --fast         1500 tasks, 2 seeds (quick shape check)
+//
+// WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
+// smoke runs).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "grid/experiment.h"
+#include "workload/coadd.h"
+
+namespace wcs::bench {
+
+struct BenchOptions {
+  std::size_t tasks = 6000;
+  std::size_t seeds = 5;
+  std::optional<std::string> csv_path;
+  bool fast = false;
+
+  [[nodiscard]] std::vector<std::uint64_t> topology_seeds() const {
+    std::vector<std::uint64_t> s;
+    for (std::uint64_t i = 1; i <= seeds; ++i) s.push_back(i);
+    return s;
+  }
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  if (const char* env = std::getenv("WCS_BENCH_FAST"); env && *env == '1')
+    opt.fast = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tasks") {
+      opt.tasks = std::stoul(next());
+    } else if (arg == "--seeds") {
+      opt.seeds = std::stoul(next());
+    } else if (arg == "--csv") {
+      opt.csv_path = next();
+    } else if (arg == "--fast") {
+      opt.fast = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --tasks N --seeds K --csv PATH --fast\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << arg << '\n';
+      std::exit(2);
+    }
+  }
+  if (opt.fast) {
+    opt.tasks = std::min<std::size_t>(opt.tasks, 1500);
+    opt.seeds = std::min<std::size_t>(opt.seeds, 2);
+  }
+  return opt;
+}
+
+// The paper's workload for a given slice size, default parameters
+// otherwise (25 MB files unless a bench overrides).
+inline workload::Job paper_workload(const BenchOptions& opt,
+                                    Bytes file_size = megabytes(25)) {
+  workload::CoaddParams p = workload::CoaddParams::paper_6000();
+  p.num_tasks = opt.tasks;
+  p.file_size = file_size;
+  return workload::generate_coadd(p);
+}
+
+// Paper Table 1 platform defaults.
+inline grid::GridConfig paper_config() {
+  grid::GridConfig c;
+  c.tiers.num_sites = 10;
+  c.tiers.workers_per_site = 1;
+  c.capacity_files = 6000;
+  return c;
+}
+
+// One row of a figure series: x value + averaged results per algorithm.
+struct SweepPoint {
+  double x = 0;
+  std::string x_label;
+  std::vector<metrics::AveragedResult> rows;
+};
+
+inline void progress(const std::string& what) {
+  std::cerr << "  [" << what << "]\n";
+}
+
+// Prints the standard figure output: per-point tables, then the series
+// ("x  algo1 algo2 ...") for the headline metric, and optional CSV.
+inline void emit_series(
+    const std::string& title, const std::string& x_name,
+    const std::vector<SweepPoint>& points,
+    const std::function<double(const metrics::AveragedResult&)>& metric,
+    const std::string& metric_name, const BenchOptions& opt) {
+  for (const SweepPoint& pt : points)
+    grid::print_table(std::cout, title + " — " + x_name + " = " + pt.x_label,
+                      pt.rows);
+
+  std::cout << "\nSeries (" << metric_name << " vs " << x_name << "):\n";
+  std::cout << x_name;
+  for (const auto& r : points.front().rows) std::cout << '\t' << r.scheduler;
+  std::cout << '\n';
+  for (const SweepPoint& pt : points) {
+    std::cout << pt.x_label;
+    for (const auto& r : pt.rows)
+      std::cout << '\t' << static_cast<std::uint64_t>(metric(r) + 0.5);
+    std::cout << '\n';
+  }
+
+  if (opt.csv_path) {
+    CsvWriter csv(*opt.csv_path);
+    csv.header({x_name, "algorithm", "makespan_min", "transfers_per_site",
+                "total_transfers", "gigabytes", "waiting_h_per_site",
+                "transfer_h_per_site", "replicas"});
+    for (const SweepPoint& pt : points)
+      for (const auto& r : pt.rows)
+        csv.row(pt.x_label, r.scheduler, r.makespan_minutes,
+                r.transfers_per_site, r.total_file_transfers,
+                r.total_gigabytes, r.waiting_hours_per_site,
+                r.transfer_hours_per_site, r.replicas_started);
+    std::cout << "\nCSV written to " << *opt.csv_path << '\n';
+  }
+}
+
+}  // namespace wcs::bench

@@ -1,0 +1,78 @@
+// Config-file-driven experiments: describe platform, workload and
+// scheduler in an .ini file and run it — no recompilation.
+//
+//   ./ini_experiment experiment.ini
+//   ./ini_experiment            (uses a built-in demo config)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/config_file.h"
+#include "grid/experiment.h"
+#include "grid/experiment_io.h"
+#include "workload/coadd.h"
+
+using namespace wcs;
+
+namespace {
+
+constexpr const char* kDemoConfig = R"(# demo experiment
+[platform]
+num_sites = 6
+workers_per_site = 2
+capacity_files = 2000
+uplink_mbps = 2.0
+eviction = lru
+
+[workload]
+num_tasks = 800
+file_size_mb = 25
+
+[scheduler]
+algorithm = rest
+choose_n = 2
+
+[replication]
+enabled = true
+popularity_threshold = 6
+placement = least-loaded
+
+[churn]
+enabled = true
+mean_uptime_h = 72
+mean_downtime_h = 6
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ConfigFile cfg;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in.good()) {
+      std::cerr << "cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    cfg = ConfigFile::parse(in);
+    std::cout << "experiment: " << argv[1] << '\n';
+  } else {
+    cfg = ConfigFile::parse_string(kDemoConfig);
+    std::cout << "experiment: built-in demo\n" << kDemoConfig << '\n';
+  }
+
+  grid::GridConfig config = grid::grid_config_from(cfg);
+  workload::Job job = workload::generate_coadd(grid::coadd_params_from(cfg));
+  sched::SchedulerSpec spec = grid::scheduler_spec_from(cfg);
+
+  auto result =
+      grid::run_averaged(config, job, spec, grid::default_topology_seeds());
+
+  std::cout << "algorithm:        " << result.scheduler << '\n'
+            << "makespan:         " << result.makespan_minutes
+            << " min (best " << result.makespan_minutes_min << ", worst "
+            << result.makespan_minutes_max << ")\n"
+            << "transfers/site:   " << result.transfers_per_site << '\n'
+            << "data moved:       " << result.total_gigabytes << " GB\n"
+            << "task replicas:    " << result.replicas_started << '\n';
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Post-processing for a bench_output.txt produced before the
+# demand-fetch/replica race fix: replace the truncated Extension E1
+# section with the output of the fixed binary, and append the A4
+# baselines section (added to the bench suite after the run started).
+# Idempotent: skips cleanly if there is nothing to fix.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=bench_output.txt
+fixed=results/ext_replication_fixed.txt
+a4=results/ablation_baselines.txt
+
+if grep -q "terminate called" "$out"; then
+  start=$(grep -n "Extension E1: replication mechanisms" "$out" | head -1 | cut -d: -f1)
+  end=$(grep -n "Aborted" "$out" | head -1 | cut -d: -f1)
+  [[ -n "$start" && -n "$end" && "$end" -gt "$start" ]] || {
+    echo "unexpected layout; not splicing"; exit 1; }
+  { head -n $((start - 1)) "$out"; cat "$fixed"; tail -n +$((end + 1)) "$out"; } \
+    > "$out.tmp" && mv "$out.tmp" "$out"
+  echo "spliced fixed E1 section"
+fi
+
+if ! grep -q "Ablation A4" "$out" && [[ -f "$a4" ]]; then
+  cat "$a4" >> "$out"
+  echo "appended A4 section"
+fi
+echo "bench_output.txt finalized"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, regenerate every paper table/figure.
+#
+#   scripts/reproduce.sh           # full scale (paper parameters, ~1 h)
+#   scripts/reproduce.sh --fast    # 1500 tasks / 2 seeds (~5 min)
+#
+# Outputs land in results/: one .txt per bench plus CSV series.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST_FLAG=""
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST_FLAG="--fast"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name=$(basename "$bench")
+  echo "=== $name ==="
+  if [[ "$name" == "bench_micro" ]]; then
+    "$bench" | tee "results/$name.txt"
+  else
+    "$bench" $FAST_FLAG --csv "results/$name.csv" | tee "results/$name.txt"
+  fi
+done
+
+echo "done — see results/"

@@ -1,0 +1,45 @@
+// Invariant checking macros.
+//
+// WCS_CHECK is always on (it guards simulation invariants whose violation
+// would silently corrupt results); WCS_DCHECK compiles out in release
+// builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wcs::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "WCS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace wcs::detail
+
+#define WCS_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::wcs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define WCS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream wcs_check_os;                                   \
+      wcs_check_os << msg;                                               \
+      ::wcs::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                  wcs_check_os.str());                   \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define WCS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define WCS_DCHECK(expr) WCS_CHECK(expr)
+#endif

@@ -1,0 +1,82 @@
+// Minimal CSV writer used by benches and the experiment runner to emit
+// machine-readable result tables next to the human-readable ones.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wcs {
+
+class CsvWriter {
+ public:
+  // Writes to an owned file.
+  explicit CsvWriter(const std::string& path)
+      : file_(std::make_unique<std::ofstream>(path)), out_(file_.get()) {
+    WCS_CHECK_MSG(file_->good(), "cannot open " << path);
+  }
+
+  // Writes to a caller-owned stream (e.g. std::cout); the stream must
+  // outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::initializer_list<std::string> cols) {
+    WCS_CHECK_MSG(!header_written_, "header already written");
+    write_row(std::vector<std::string>(cols));
+    header_written_ = true;
+    num_cols_ = cols.size();
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    if (num_cols_ != 0) {
+      WCS_CHECK_MSG(cells.size() == num_cols_,
+                    "row has " << cells.size() << " cells, header has "
+                               << num_cols_);
+    }
+    write_row(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return escape(os.str());
+  }
+
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) *out_ << ',';
+      *out_ << cells[i];
+    }
+    *out_ << '\n';
+  }
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_;
+  bool header_written_ = false;
+  std::size_t num_cols_ = 0;
+};
+
+}  // namespace wcs

@@ -1,0 +1,76 @@
+// Strongly-typed identifiers used across the library.
+//
+// Every entity in the simulation (files, tasks, workers, sites, network
+// nodes, links, flows) gets its own id type so that mixing them up is a
+// compile-time error instead of a silent bug.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace wcs {
+
+// A transparent integer wrapper parameterized by a tag type.
+//
+// Default-constructed ids are invalid; valid ids are produced explicitly
+// from an underlying integer (typically a dense 0-based index, so ids can
+// index into vectors directly via `value()`).
+template <typename Tag, typename T = std::uint32_t>
+class StrongId {
+ public:
+  using underlying_type = T;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(T value) : value_(value) {}
+
+  // The raw integer. Only meaningful when valid().
+  [[nodiscard]] constexpr T value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != kInvalidValue;
+  }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  static constexpr T kInvalidValue = static_cast<T>(-1);
+  T value_ = kInvalidValue;
+};
+
+struct FileTag {};
+struct TaskTag {};
+struct WorkerTag {};
+struct SiteTag {};
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct EventTag {};
+
+using FileId = StrongId<FileTag>;
+using TaskId = StrongId<TaskTag>;
+using WorkerId = StrongId<WorkerTag>;
+using SiteId = StrongId<SiteTag>;
+using NodeId = StrongId<NodeTag>;
+using LinkId = StrongId<LinkTag>;
+using FlowId = StrongId<FlowTag, std::uint64_t>;
+using EventId = StrongId<EventTag, std::uint64_t>;
+
+}  // namespace wcs
+
+namespace std {
+template <typename Tag, typename T>
+struct hash<wcs::StrongId<Tag, T>> {
+  size_t operator()(wcs::StrongId<Tag, T> id) const noexcept {
+    return std::hash<T>{}(id.value());
+  }
+};
+}  // namespace std

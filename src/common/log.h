@@ -1,0 +1,75 @@
+// Leveled logging. Off (WARN) by default so simulations stay quiet; benches
+// and examples raise the level via Logger::set_level or the WCS_LOG_LEVEL
+// environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wcs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level <= level_; }
+
+  void write(LogLevel level, std::string_view msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::cerr << "[" << name(level) << "] " << msg << '\n';
+  }
+
+ private:
+  Logger() {
+    if (const char* env = std::getenv("WCS_LOG_LEVEL")) {
+      std::string v(env);
+      if (v == "error") level_ = LogLevel::kError;
+      else if (v == "warn") level_ = LogLevel::kWarn;
+      else if (v == "info") level_ = LogLevel::kInfo;
+      else if (v == "debug") level_ = LogLevel::kDebug;
+      else if (v == "trace") level_ = LogLevel::kTrace;
+    }
+  }
+
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kError: return "error";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kTrace: return "trace";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+}  // namespace wcs
+
+#define WCS_LOG(level, expr)                                        \
+  do {                                                              \
+    if (::wcs::Logger::instance().enabled(level)) {                 \
+      std::ostringstream wcs_log_os;                                \
+      wcs_log_os << expr;                                           \
+      ::wcs::Logger::instance().write(level, wcs_log_os.str());     \
+    }                                                               \
+  } while (0)
+
+#define WCS_ERROR(expr) WCS_LOG(::wcs::LogLevel::kError, expr)
+#define WCS_WARN(expr) WCS_LOG(::wcs::LogLevel::kWarn, expr)
+#define WCS_INFO(expr) WCS_LOG(::wcs::LogLevel::kInfo, expr)
+#define WCS_DEBUG(expr) WCS_LOG(::wcs::LogLevel::kDebug, expr)
+#define WCS_TRACE(expr) WCS_LOG(::wcs::LogLevel::kTrace, expr)

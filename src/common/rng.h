@@ -1,0 +1,106 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library take an explicit seed or an
+// Rng&; there is no ambient entropy anywhere, so a whole experiment is
+// reproducible from the seeds recorded in its config.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wcs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Derive an independent child generator; used to give each subsystem its
+  // own stream so adding draws in one place does not perturb another.
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    WCS_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    WCS_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Index into a non-empty container, uniformly.
+  [[nodiscard]] std::size_t index(std::size_t size) {
+    WCS_CHECK(size > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  // Sample an index with probability proportional to weights[i].
+  // All weights must be >= 0. If they sum to zero, samples uniformly —
+  // this is exactly the ChooseTask(n) degenerate case where every
+  // candidate task has weight zero (e.g. cold caches under the overlap
+  // metric).
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) {
+    WCS_CHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights) {
+      WCS_CHECK_MSG(w >= 0, "negative weight " << w);
+      total += w;
+    }
+    if (total <= 0) return index(weights.size());
+    double r = uniform_real(0, total);
+    double acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;  // guard against FP rounding
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Zipf-distributed rank in [1, n] with exponent s (rejection-free
+  // inverse-CDF over precomputation is overkill here; n is small where we
+  // use this).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s) {
+    WCS_CHECK(n > 0);
+    double h = 0;
+    for (std::size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
+    double r = uniform_real(0, h);
+    double acc = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(double(k), s);
+      if (r < acc) return k;
+    }
+    return n;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wcs

@@ -1,0 +1,46 @@
+// Unit helpers. The simulation kernel works in SI base units (seconds,
+// bytes, bytes/second, floating-point operations); these helpers keep
+// literal conversions readable and in one place.
+#pragma once
+
+#include <cstdint>
+
+namespace wcs {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+using Bytes = std::uint64_t;
+
+constexpr double kSecondsPerMinute = 60.0;
+constexpr double kSecondsPerHour = 3600.0;
+
+[[nodiscard]] constexpr Bytes megabytes(double mb) {
+  return static_cast<Bytes>(mb * 1e6);
+}
+
+[[nodiscard]] constexpr double to_megabytes(Bytes b) {
+  return static_cast<double>(b) / 1e6;
+}
+
+// Bandwidths are expressed in bytes/second internally.
+[[nodiscard]] constexpr double mbps(double megabits_per_second) {
+  return megabits_per_second * 1e6 / 8.0;
+}
+
+[[nodiscard]] constexpr double minutes(double m) { return m * kSecondsPerMinute; }
+[[nodiscard]] constexpr double hours(double h) { return h * kSecondsPerHour; }
+
+[[nodiscard]] constexpr double to_minutes(SimTime seconds) {
+  return seconds / kSecondsPerMinute;
+}
+[[nodiscard]] constexpr double to_hours(SimTime seconds) {
+  return seconds / kSecondsPerHour;
+}
+
+// Compute capacities follow the paper's convention: each worker has a
+// speed in MFLOPS and each task a cost in MFLOP, so
+// compute_time = mflop / mflops.
+[[nodiscard]] constexpr double gigaflops_to_mflops(double gf) { return gf * 1e3; }
+
+}  // namespace wcs

@@ -1,0 +1,32 @@
+#include "compute/capacity.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace wcs::compute {
+
+const std::vector<double>& top500_rmax_gflops() {
+  static const std::vector<double> table = [] {
+    // Power-law interpolation between the June-2006 endpoints:
+    // Rmax(1) = 280,600 GF (BlueGene/L), Rmax(500) = 2,737 GF.
+    // Rmax(r) = a * r^-b with b chosen to hit both endpoints.
+    constexpr double kTop = 280600.0;
+    constexpr double kBottom = 2737.0;
+    const double b = std::log(kTop / kBottom) / std::log(500.0);
+    std::vector<double> t;
+    t.reserve(500);
+    for (int r = 1; r <= 500; ++r)
+      t.push_back(kTop * std::pow(static_cast<double>(r), -b));
+    return t;
+  }();
+  return table;
+}
+
+double sample_worker_mflops(Rng& rng) {
+  const auto& table = top500_rmax_gflops();
+  double gflops = table[rng.index(table.size())];
+  return gigaflops_to_mflops(gflops) / 100.0;
+}
+
+}  // namespace wcs::compute

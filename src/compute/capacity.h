@@ -1,0 +1,40 @@
+// Worker compute capacities.
+//
+// The paper draws each worker's capacity "randomly from [the] top500 list
+// and divide[s it] by 100, since most of the 500 machines are too
+// powerful" (Sec. 5.2). We do not ship the proprietary list; instead we
+// embed a synthetic 500-entry Rmax table with the shape of the June-2006
+// list (top ~280 TFLOPS, rank-500 ~2.7 TFLOPS, power-law decay in
+// between), which is all the evaluation depends on: a heavy-tailed spread
+// of worker speeds. Substitution documented in DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace wcs::compute {
+
+// Rmax in GFLOPS for ranks 1..500, descending.
+[[nodiscard]] const std::vector<double>& top500_rmax_gflops();
+
+// One worker speed in MFLOPS, sampled per the paper's recipe:
+// uniform rank from the table, divided by 100.
+[[nodiscard]] double sample_worker_mflops(Rng& rng);
+
+struct Worker {
+  WorkerId id;
+  SiteId site;
+  NodeId node;
+  double mflops = 0;
+
+  // Execution time of a task costing `mflop` MFLOP.
+  [[nodiscard]] double compute_time_s(double mflop) const {
+    WCS_CHECK(mflops > 0);
+    return mflop / mflops;
+  }
+};
+
+}  // namespace wcs::compute

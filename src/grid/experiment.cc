@@ -1,0 +1,77 @@
+#include "grid/experiment.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wcs::grid {
+
+std::vector<std::uint64_t> default_topology_seeds() {
+  return {1, 2, 3, 4, 5};
+}
+
+metrics::RunResult run_once(const GridConfig& config,
+                            const workload::Job& job,
+                            const sched::SchedulerSpec& spec,
+                            std::uint64_t topology_seed) {
+  GridConfig c = config;
+  c.tiers.seed = topology_seed;
+  GridSimulation simulation(c, job, sched::make_scheduler(spec));
+  return simulation.run();
+}
+
+metrics::AveragedResult run_averaged(
+    const GridConfig& config, const workload::Job& job,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds) {
+  WCS_CHECK(!topology_seeds.empty());
+  std::vector<metrics::RunResult> runs;
+  runs.reserve(topology_seeds.size());
+  for (std::uint64_t seed : topology_seeds)
+    runs.push_back(run_once(config, job, spec, seed));
+  return metrics::average(runs);
+}
+
+std::vector<metrics::AveragedResult> run_matrix(
+    const GridConfig& config, const workload::Job& job,
+    std::span<const sched::SchedulerSpec> specs,
+    std::span<const std::uint64_t> topology_seeds,
+    const std::function<void(const std::string&)>& progress) {
+  std::vector<metrics::AveragedResult> rows;
+  rows.reserve(specs.size());
+  for (const sched::SchedulerSpec& spec : specs) {
+    rows.push_back(run_averaged(config, job, spec, topology_seeds));
+    if (progress) {
+      std::ostringstream os;
+      os << spec.name() << ": makespan "
+         << std::fixed << std::setprecision(0) << rows.back().makespan_minutes
+         << " min, " << std::setprecision(1) << rows.back().transfers_per_site
+         << " transfers/site";
+      progress(os.str());
+    }
+  }
+  return rows;
+}
+
+void print_table(std::ostream& out, const std::string& title,
+                 std::span<const metrics::AveragedResult> rows) {
+  out << '\n' << title << '\n' << std::string(title.size(), '-') << '\n';
+  out << std::left << std::setw(22) << "algorithm" << std::right
+      << std::setw(16) << "makespan (min)" << std::setw(18)
+      << "transfers/site" << std::setw(16) << "transfers" << std::setw(12)
+      << "GB moved" << std::setw(14) << "wait (h/site)" << std::setw(14)
+      << "xfer (h/site)" << std::setw(11) << "replicas" << '\n';
+  for (const metrics::AveragedResult& r : rows) {
+    out << std::left << std::setw(22) << r.scheduler << std::right
+        << std::fixed << std::setprecision(0) << std::setw(16)
+        << r.makespan_minutes << std::setprecision(1) << std::setw(18)
+        << r.transfers_per_site << std::setprecision(0) << std::setw(16)
+        << r.total_file_transfers << std::setprecision(1) << std::setw(12)
+        << r.total_gigabytes << std::setprecision(2) << std::setw(14)
+        << r.waiting_hours_per_site << std::setw(14)
+        << r.transfer_hours_per_site << std::setprecision(0) << std::setw(11)
+        << r.replicas_started << '\n';
+  }
+  out.flush();
+}
+
+}  // namespace wcs::grid

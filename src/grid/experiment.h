@@ -1,0 +1,55 @@
+// Experiment runner: the paper's measurement protocol.
+//
+// Every data point in Sec. 5 is one (platform config, workload,
+// algorithm) triple executed on 5 independently generated topologies and
+// averaged. run_averaged() reproduces that; run_matrix() sweeps a list of
+// scheduler specs and prints/collects one row per algorithm, which is the
+// format of every figure in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grid/config.h"
+#include "grid/grid_simulation.h"
+#include "metrics/results.h"
+#include "sched/factory.h"
+#include "workload/job.h"
+
+namespace wcs::grid {
+
+// The paper runs each experiment on 5 topologies (Sec. 5.2).
+[[nodiscard]] std::vector<std::uint64_t> default_topology_seeds();
+
+// One run on one topology seed.
+[[nodiscard]] metrics::RunResult run_once(const GridConfig& config,
+                                          const workload::Job& job,
+                                          const sched::SchedulerSpec& spec,
+                                          std::uint64_t topology_seed);
+
+// Mean over the given topology seeds (workload held fixed, as in the
+// paper: the Coadd trace does not change between repetitions).
+[[nodiscard]] metrics::AveragedResult run_averaged(
+    const GridConfig& config, const workload::Job& job,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds);
+
+// Runs every spec and returns one averaged row per algorithm, in order.
+// `progress` (optional) is invoked with a human-readable note as each
+// algorithm finishes — benches use it to stream status.
+[[nodiscard]] std::vector<metrics::AveragedResult> run_matrix(
+    const GridConfig& config, const workload::Job& job,
+    std::span<const sched::SchedulerSpec> specs,
+    std::span<const std::uint64_t> topology_seeds,
+    const std::function<void(const std::string&)>& progress = {});
+
+// Pretty-prints rows as an aligned table (one column set used by all
+// benches: makespan, transfers/site, totals, waits).
+void print_table(std::ostream& out, const std::string& title,
+                 std::span<const metrics::AveragedResult> rows);
+
+}  // namespace wcs::grid

@@ -1,0 +1,126 @@
+// Mapping between ConfigFile text descriptions and experiment structs —
+// platforms, workloads, schedulers — so whole experiments can be driven
+// from .ini files (see examples/ini_experiment.cpp).
+//
+// Recognized keys (all optional; defaults = paper Table 1):
+//
+//   [platform]  num_sites, workers_per_site, capacity_files, eviction
+//               (lru|fifo|minref), uplink_mbps, wan_mbps, man_mbps,
+//               jitter, sites_per_man
+//   [workload]  num_tasks, file_size_mb, num_rows, num_passes, seed,
+//               mflop_per_file
+//   [scheduler] algorithm (workqueue|storage-affinity|overlap|rest|
+//               combined), choose_n, task_replication, max_replicas,
+//               seed
+//   [replication] enabled, popularity_threshold, placement
+//               (random|least-loaded), check_interval_s
+//   [churn]     enabled, mean_uptime_h, mean_downtime_h, seed
+#pragma once
+
+#include <string>
+
+#include "common/config_file.h"
+#include "common/units.h"
+#include "grid/config.h"
+#include "sched/factory.h"
+#include "workload/coadd.h"
+
+namespace wcs::grid {
+
+inline GridConfig grid_config_from(const ConfigFile& cfg) {
+  GridConfig c;
+  c.tiers.num_sites =
+      static_cast<int>(cfg.get_int_or("platform.num_sites", 10));
+  c.tiers.workers_per_site =
+      static_cast<int>(cfg.get_int_or("platform.workers_per_site", 1));
+  c.capacity_files = static_cast<std::size_t>(
+      cfg.get_int_or("platform.capacity_files", 6000));
+  c.tiers.sites_per_man =
+      static_cast<int>(cfg.get_int_or("platform.sites_per_man", 4));
+  c.tiers.uplink_bandwidth_bps =
+      mbps(cfg.get_double_or("platform.uplink_mbps", 2.0));
+  c.tiers.wan_bandwidth_bps =
+      mbps(cfg.get_double_or("platform.wan_mbps", 155.0));
+  c.tiers.man_bandwidth_bps =
+      mbps(cfg.get_double_or("platform.man_mbps", 45.0));
+  c.tiers.jitter = cfg.get_double_or("platform.jitter", 0.25);
+
+  std::string eviction = cfg.get_string_or("platform.eviction", "lru");
+  if (eviction == "lru") {
+    c.eviction = storage::EvictionPolicy::kLru;
+  } else if (eviction == "fifo") {
+    c.eviction = storage::EvictionPolicy::kFifo;
+  } else if (eviction == "minref") {
+    c.eviction = storage::EvictionPolicy::kMinRef;
+  } else {
+    WCS_CHECK_MSG(false, "unknown eviction policy: " << eviction);
+  }
+
+  if (cfg.get_bool_or("replication.enabled", false)) {
+    replication::DataReplicatorParams rp;
+    rp.popularity_threshold = static_cast<std::size_t>(
+        cfg.get_int_or("replication.popularity_threshold", 8));
+    rp.check_interval_s =
+        cfg.get_double_or("replication.check_interval_s", 3600.0);
+    std::string placement =
+        cfg.get_string_or("replication.placement", "least-loaded");
+    if (placement == "random") {
+      rp.placement = replication::Placement::kRandom;
+    } else if (placement == "least-loaded") {
+      rp.placement = replication::Placement::kLeastLoaded;
+    } else {
+      WCS_CHECK_MSG(false, "unknown replication placement: " << placement);
+    }
+    c.replication = rp;
+  }
+
+  if (cfg.get_bool_or("churn.enabled", false)) {
+    GridConfig::ChurnParams churn;
+    churn.mean_uptime_s = hours(cfg.get_double_or("churn.mean_uptime_h", 24));
+    churn.mean_downtime_s =
+        hours(cfg.get_double_or("churn.mean_downtime_h", 4));
+    churn.seed = static_cast<std::uint64_t>(cfg.get_int_or("churn.seed", 17));
+    c.churn = churn;
+  }
+  return c;
+}
+
+inline workload::CoaddParams coadd_params_from(const ConfigFile& cfg) {
+  workload::CoaddParams p;
+  p.num_tasks =
+      static_cast<std::size_t>(cfg.get_int_or("workload.num_tasks", 6000));
+  p.file_size = megabytes(cfg.get_double_or("workload.file_size_mb", 25.0));
+  p.num_rows =
+      static_cast<std::size_t>(cfg.get_int_or("workload.num_rows", 12));
+  p.num_passes =
+      static_cast<std::size_t>(cfg.get_int_or("workload.num_passes", 2));
+  p.mflop_per_file = cfg.get_double_or("workload.mflop_per_file", 2.0e5);
+  p.seed = static_cast<std::uint64_t>(cfg.get_int_or("workload.seed", 42));
+  return p;
+}
+
+inline sched::SchedulerSpec scheduler_spec_from(const ConfigFile& cfg) {
+  sched::SchedulerSpec s;
+  std::string algorithm = cfg.get_string_or("scheduler.algorithm", "rest");
+  if (algorithm == "workqueue") {
+    s.algorithm = sched::Algorithm::kWorkqueue;
+  } else if (algorithm == "storage-affinity") {
+    s.algorithm = sched::Algorithm::kStorageAffinity;
+  } else if (algorithm == "overlap") {
+    s.algorithm = sched::Algorithm::kOverlap;
+  } else if (algorithm == "rest") {
+    s.algorithm = sched::Algorithm::kRest;
+  } else if (algorithm == "combined") {
+    s.algorithm = sched::Algorithm::kCombined;
+  } else {
+    WCS_CHECK_MSG(false, "unknown scheduler algorithm: " << algorithm);
+  }
+  s.choose_n = static_cast<int>(cfg.get_int_or("scheduler.choose_n", 1));
+  s.task_replication = cfg.get_bool_or("scheduler.task_replication", false);
+  s.max_replicas =
+      static_cast<int>(cfg.get_int_or("scheduler.max_replicas", 2));
+  s.seed = static_cast<std::uint64_t>(cfg.get_int_or("scheduler.seed", 7));
+  return s;
+}
+
+}  // namespace wcs::grid

@@ -1,0 +1,401 @@
+#include "grid/grid_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace wcs::grid {
+
+GridSimulation::GridSimulation(const GridConfig& config,
+                               const workload::Job& job,
+                               std::unique_ptr<sched::Scheduler> scheduler)
+    : config_(config),
+      job_(job),
+      scheduler_(std::move(scheduler)),
+      grid_topo_(net::build_tiers_topology(config.tiers)) {
+  WCS_CHECK(scheduler_ != nullptr);
+  validate_config(config_, job_);
+  flows_ = std::make_unique<net::FlowManager>(sim_, grid_topo_.topology);
+
+  const auto num_sites = static_cast<std::size_t>(config_.tiers.num_sites);
+  data_servers_.reserve(num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    data_servers_.push_back(std::make_unique<storage::DataServer>(
+        SiteId(static_cast<SiteId::underlying_type>(s)), sim_, *flows_,
+        grid_topo_.data_server_nodes[s], grid_topo_.file_server_node,
+        job_.catalog, config_.capacity_files, config_.eviction));
+  }
+
+  if (config_.replication) {
+    std::vector<storage::DataServer*> servers;
+    servers.reserve(data_servers_.size());
+    for (const auto& ds : data_servers_) servers.push_back(ds.get());
+    replicator_ = std::make_unique<replication::DataReplicator>(
+        *config_.replication, sim_, *flows_, grid_topo_.file_server_node,
+        job_.catalog, std::move(servers));
+    for (const auto& ds : data_servers_)
+      ds->set_transfer_listener(
+          [this](FileId f) { replicator_->on_file_fetched(f); });
+  }
+
+  if (config_.churn) {
+    WCS_CHECK_MSG(config_.churn->mean_uptime_s > 0 &&
+                      config_.churn->mean_downtime_s > 0,
+                  "churn times must be positive");
+    churn_rng_ = std::make_unique<Rng>(config_.churn->seed *
+                                           0x9e3779b97f4a7c15ULL ^
+                                       config_.tiers.seed);
+  }
+
+  if (config_.estimate_error > 0) {
+    Rng estimate_rng(config_.estimate_seed * 0x9e3779b97f4a7c15ULL ^
+                     config_.tiers.seed);
+    auto draw = [&] {
+      double hi = std::log(1.0 + config_.estimate_error);
+      return std::exp(estimate_rng.uniform_real(-hi, hi));
+    };
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      bandwidth_estimate_error_.push_back(draw());
+      mflops_estimate_error_.push_back(draw());
+    }
+  }
+
+  Rng speed_rng(config_.effective_speed_seed());
+  const auto per_site =
+      static_cast<std::size_t>(config_.tiers.workers_per_site);
+  workers_.resize(num_sites * per_site);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    for (std::size_t w = 0; w < per_site; ++w) {
+      std::size_t idx = s * per_site + w;
+      WorkerRuntime& rt = workers_[idx];
+      rt.info.id = WorkerId(static_cast<WorkerId::underlying_type>(idx));
+      rt.info.site = SiteId(static_cast<SiteId::underlying_type>(s));
+      rt.info.node = grid_topo_.worker_nodes[s][w];
+      rt.info.mflops = compute::sample_worker_mflops(speed_rng);
+      rt.control_latency = grid_topo_.topology.path_latency(
+          rt.info.node, grid_topo_.scheduler_node);
+    }
+  }
+
+  completed_.assign(job_.num_tasks(), 0);
+  instances_.assign(job_.num_tasks(), {});
+  if (config_.record_timeline)
+    timeline_ = std::make_unique<metrics::TimelineRecorder>();
+}
+
+GridSimulation::~GridSimulation() = default;
+
+SiteId GridSimulation::site_of(WorkerId worker) const {
+  return workers_.at(worker.value()).info.site;
+}
+
+const storage::FileCache& GridSimulation::site_cache(SiteId site) const {
+  return data_servers_.at(site.value())->cache();
+}
+
+void GridSimulation::set_cache_listener(SiteId site,
+                                        storage::CacheListener listener) {
+  data_servers_.at(site.value())->cache().set_listener(std::move(listener));
+}
+
+const storage::DataServer& GridSimulation::data_server(SiteId site) const {
+  return *data_servers_.at(site.value());
+}
+
+const compute::Worker& GridSimulation::worker_info(WorkerId worker) const {
+  return workers_.at(worker.value()).info;
+}
+
+bool GridSimulation::worker_alive(WorkerId worker) const {
+  return workers_.at(worker.value()).state != WorkerState::kOffline;
+}
+
+std::size_t GridSimulation::worker_backlog(WorkerId worker) const {
+  const WorkerRuntime& rt = workers_.at(worker.value());
+  std::size_t backlog = rt.queue.size();
+  if (rt.state == WorkerState::kFetching ||
+      rt.state == WorkerState::kComputing)
+    ++backlog;
+  return backlog;
+}
+
+double GridSimulation::estimated_uplink_bandwidth(SiteId site) const {
+  double exact =
+      grid_topo_.topology.link(grid_topo_.site_uplinks[site.value()])
+          .bandwidth_bps;
+  if (bandwidth_estimate_error_.empty()) return exact;
+  return exact * bandwidth_estimate_error_[site.value()];
+}
+
+double GridSimulation::estimated_site_mflops(SiteId site) const {
+  const auto per_site =
+      static_cast<std::size_t>(config_.tiers.workers_per_site);
+  double total = 0;
+  for (std::size_t w = 0; w < per_site; ++w)
+    total += workers_[site.value() * per_site + w].info.mflops;
+  double exact = total / static_cast<double>(per_site);
+  if (mflops_estimate_error_.empty()) return exact;
+  return exact * mflops_estimate_error_[site.value()];
+}
+
+std::size_t GridSimulation::data_server_backlog(SiteId site) const {
+  const storage::DataServer& ds = *data_servers_[site.value()];
+  return ds.queue_length() + (ds.busy() ? 1 : 0);
+}
+
+void GridSimulation::schedule_failure(WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  SimTime uptime = churn_rng_->exponential(1.0 / config_.churn->mean_uptime_s);
+  rt.churn_event =
+      sim_.schedule_in(uptime, [this, worker] { fail_worker(worker); });
+}
+
+void GridSimulation::fail_worker(WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  WCS_CHECK(rt.state != WorkerState::kOffline);
+  ++failures_;
+
+  // Withdraw every task instance this worker holds.
+  std::vector<TaskId> lost;
+  if (rt.state == WorkerState::kFetching) {
+    bool cancelled =
+        data_servers_[rt.info.site.value()]->cancel_batch(rt.current, worker);
+    WCS_CHECK(cancelled);
+    lost.push_back(rt.current);
+  } else if (rt.state == WorkerState::kComputing) {
+    WCS_CHECK(sim_.cancel(rt.compute_event));
+    rt.compute_event = EventId::invalid();
+    data_servers_[rt.info.site.value()]->release(rt.current, worker);
+    lost.push_back(rt.current);
+  }
+  for (TaskId t : rt.queue) lost.push_back(t);
+  rt.queue.clear();
+  rt.current = TaskId::invalid();
+  for (TaskId t : lost) {
+    auto& inst = instances_[t.value()];
+    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    trace(metrics::TimelineEventKind::kCancelled, t, worker);
+  }
+  instances_lost_ += lost.size();
+  rt.state = WorkerState::kOffline;
+  trace(metrics::TimelineEventKind::kWorkerFailed, TaskId::invalid(), worker);
+
+  SimTime downtime =
+      churn_rng_->exponential(1.0 / config_.churn->mean_downtime_s);
+  rt.churn_event =
+      sim_.schedule_in(downtime, [this, worker] { recover_worker(worker); });
+
+  scheduler_->on_worker_failed(worker, lost);
+}
+
+void GridSimulation::recover_worker(WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  WCS_CHECK(rt.state == WorkerState::kOffline);
+  ++recoveries_;
+  rt.state = WorkerState::kIdle;
+  trace(metrics::TimelineEventKind::kWorkerRecovered, TaskId::invalid(),
+        worker);
+  schedule_failure(worker);
+  go_idle(worker);
+}
+
+void GridSimulation::stop_churn() {
+  for (WorkerRuntime& rt : workers_) {
+    if (rt.churn_event.valid()) {
+      sim_.cancel(rt.churn_event);
+      rt.churn_event = EventId::invalid();
+    }
+  }
+}
+
+bool GridSimulation::has_instance(TaskId task, WorkerId worker) const {
+  const auto& v = instances_.at(task.value());
+  return std::find(v.begin(), v.end(), worker) != v.end();
+}
+
+void GridSimulation::assign_task(TaskId task, WorkerId worker) {
+  WCS_CHECK(task.valid() && task.value() < job_.num_tasks());
+  WCS_CHECK(worker.valid() && worker.value() < workers_.size());
+  WCS_CHECK_MSG(!completed_[task.value()],
+                "assignment of completed task " << task);
+  WCS_CHECK_MSG(worker_alive(worker),
+                "assignment to offline worker " << worker);
+  WCS_CHECK_MSG(!has_instance(task, worker),
+                "task " << task << " already placed on worker " << worker);
+
+  if (!instances_[task.value()].empty()) ++replicas_started_;
+  instances_[task.value()].push_back(worker);
+  ++assignments_;
+  trace(metrics::TimelineEventKind::kAssigned, task, worker);
+
+  WorkerRuntime& rt = workers_[worker.value()];
+  rt.queue.push_back(task);
+  // The assignment message travels scheduler -> worker; when it lands, an
+  // idle (or still-requesting) worker starts its queue head.
+  sim_.schedule_in(rt.control_latency, [this, worker] {
+    WorkerRuntime& w = workers_[worker.value()];
+    if (w.state == WorkerState::kIdle || w.state == WorkerState::kRequesting)
+      start_next(worker);
+  });
+}
+
+void GridSimulation::start_next(WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  WCS_CHECK(rt.state == WorkerState::kIdle ||
+            rt.state == WorkerState::kRequesting);
+  if (rt.queue.empty()) return;
+  TaskId task = rt.queue.front();
+  rt.queue.pop_front();
+  rt.current = task;
+  rt.state = WorkerState::kFetching;
+  trace(metrics::TimelineEventKind::kFetchStart, task, worker);
+  const workload::Task& t = job_.task(task);
+  data_servers_[rt.info.site.value()]->request_batch(
+      task, worker, t.files, [this, worker, task] {
+        files_ready(worker, task);
+      });
+}
+
+void GridSimulation::files_ready(WorkerId worker, TaskId task) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  WCS_CHECK(rt.state == WorkerState::kFetching && rt.current == task);
+  rt.state = WorkerState::kComputing;
+  trace(metrics::TimelineEventKind::kExecStart, task, worker);
+  SimTime compute = rt.info.compute_time_s(job_.task(task).mflop);
+  rt.compute_event = sim_.schedule_in(
+      compute, [this, worker, task] { finish_task(worker, task); });
+}
+
+void GridSimulation::finish_task(WorkerId worker, TaskId task) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  WCS_CHECK(rt.state == WorkerState::kComputing && rt.current == task);
+  WCS_CHECK_MSG(!completed_[task.value()],
+                "task " << task << " completed twice");
+  rt.compute_event = EventId::invalid();
+  data_servers_[rt.info.site.value()]->release(task, worker);
+
+  completed_[task.value()] = 1;
+  ++completed_count_;
+  last_completion_ = sim_.now();
+  trace(metrics::TimelineEventKind::kCompleted, task, worker);
+  if (completed_count_ == job_.num_tasks()) {
+    if (replicator_) replicator_->stop();  // no more scans; drain cleanly
+    stop_churn();
+  }
+  auto& inst = instances_[task.value()];
+  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+
+  WCS_TRACE("task " << task << " done on worker " << worker << " at "
+                    << sim_.now() << "s (" << completed_count_ << "/"
+                    << job_.num_tasks() << ")");
+  // The scheduler may cancel sibling replicas here (storage affinity).
+  scheduler_->on_task_completed(task, worker);
+  go_idle(worker);
+}
+
+bool GridSimulation::cancel_task(TaskId task, WorkerId worker) {
+  if (!has_instance(task, worker)) return false;
+  WorkerRuntime& rt = workers_[worker.value()];
+  auto& inst = instances_[task.value()];
+
+  if (rt.current == task && rt.state == WorkerState::kFetching) {
+    bool cancelled =
+        data_servers_[rt.info.site.value()]->cancel_batch(task, worker);
+    WCS_CHECK_MSG(cancelled, "fetching task had no batch at the data server");
+    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    ++replicas_cancelled_;
+    trace(metrics::TimelineEventKind::kCancelled, task, worker);
+    go_idle(worker);
+    return true;
+  }
+  if (rt.current == task && rt.state == WorkerState::kComputing) {
+    WCS_CHECK(sim_.cancel(rt.compute_event));
+    rt.compute_event = EventId::invalid();
+    data_servers_[rt.info.site.value()]->release(task, worker);
+    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    ++replicas_cancelled_;
+    trace(metrics::TimelineEventKind::kCancelled, task, worker);
+    go_idle(worker);
+    return true;
+  }
+  // Still queued at the worker.
+  auto qit = std::find(rt.queue.begin(), rt.queue.end(), task);
+  if (qit == rt.queue.end()) return false;
+  rt.queue.erase(qit);
+  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+  ++replicas_cancelled_;
+  trace(metrics::TimelineEventKind::kCancelled, task, worker);
+  return true;
+}
+
+void GridSimulation::go_idle(WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  rt.current = TaskId::invalid();
+  rt.state = WorkerState::kIdle;
+  if (!rt.queue.empty()) {
+    start_next(worker);
+    return;
+  }
+  // Pull path: ask the scheduler for work after the request latency.
+  rt.state = WorkerState::kRequesting;
+  sim_.schedule_in(rt.control_latency, [this, worker] {
+    WorkerRuntime& w = workers_[worker.value()];
+    // A queued assignment may have raced ahead of the request.
+    if (w.state != WorkerState::kRequesting) return;
+    scheduler_->on_worker_idle(worker);
+  });
+}
+
+metrics::RunResult GridSimulation::run() {
+  WCS_CHECK_MSG(!ran_, "GridSimulation::run() is single-shot");
+  ran_ = true;
+
+  scheduler_->attach(*this);
+  scheduler_->on_job_submitted();
+  if (replicator_) replicator_->start();
+  for (WorkerRuntime& rt : workers_) go_idle(rt.info.id);
+  if (config_.churn)
+    for (WorkerRuntime& rt : workers_) schedule_failure(rt.info.id);
+  sim_.run();
+
+  WCS_CHECK_MSG(completed_count_ == job_.num_tasks(),
+                "simulation drained with " << completed_count_ << "/"
+                                           << job_.num_tasks()
+                                           << " tasks complete — scheduler "
+                                           << scheduler_->name()
+                                           << " lost tasks");
+
+  metrics::RunResult result;
+  result.scheduler = scheduler_->name();
+  result.makespan_s = last_completion_;
+  result.tasks_completed = completed_count_;
+  result.assignments = assignments_;
+  result.replicas_started = replicas_started_;
+  result.replicas_cancelled = replicas_cancelled_;
+  result.events_executed = sim_.executed_events();
+  if (replicator_) {
+    result.files_replicated = replicator_->stats().files_replicated;
+    result.bytes_replicated = replicator_->stats().bytes_replicated;
+  }
+  result.worker_failures = failures_;
+  result.worker_recoveries = recoveries_;
+  result.instances_lost = instances_lost_;
+  result.sites.reserve(data_servers_.size());
+  for (const auto& ds : data_servers_) {
+    const storage::DataServer::Stats& s = ds->stats();
+    metrics::SiteResult site;
+    site.batches_served = s.batches_served;
+    site.batches_cancelled = s.batches_cancelled;
+    site.waiting_s = s.waiting_s;
+    site.transfer_s = s.transfer_s;
+    site.file_transfers = s.file_transfers;
+    site.bytes_transferred = s.bytes_transferred;
+    site.cache_hits = s.cache_hits;
+    site.evictions = ds->cache().evictions();
+    result.sites.push_back(site);
+  }
+  return result;
+}
+
+}  // namespace wcs::grid

@@ -1,0 +1,163 @@
+// GridSimulation: the experiment substrate.
+//
+// Wires together the event kernel, a Tiers topology, the flow-level
+// network, per-site data servers, top500-sampled workers, and one
+// scheduler; runs a Bag-of-Tasks job to completion and reports a
+// metrics::RunResult.
+//
+// Worker lifecycle (paper Sec. 2.2/4.1):
+//
+//        +--------- assign_task (queue) ----------+
+//        v                                        |
+//   [Idle] --queue empty--> [Requesting] --on_worker_idle--> scheduler
+//     |                                                      |
+//     +--queue non-empty--> [Fetching] <---- assign ---------+
+//                               |  batch request to the site data server;
+//                               |  serial service + uplink flows
+//                               v
+//                          [Computing]  mflop / worker MFLOPS
+//                               |
+//                          finish: release pins, notify scheduler,
+//                                  back to Idle
+//
+// Control messages (task request / assignment) pay the topology's
+// worker<->scheduler path latency; they carry no payload worth modeling
+// as flows (DESIGN.md §5.6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "compute/capacity.h"
+#include "grid/config.h"
+#include "metrics/results.h"
+#include "metrics/timeline.h"
+#include "net/flow_manager.h"
+#include "net/tiers.h"
+#include "replication/data_replicator.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "storage/data_server.h"
+#include "workload/job.h"
+
+namespace wcs::grid {
+
+class GridSimulation final : public sched::GridEngine {
+ public:
+  // `job` must outlive the simulation. The scheduler is owned.
+  GridSimulation(const GridConfig& config, const workload::Job& job,
+                 std::unique_ptr<sched::Scheduler> scheduler);
+  ~GridSimulation() override;
+
+  // Runs the job to completion and returns the collected metrics.
+  // Callable once.
+  metrics::RunResult run();
+
+  // --- sched::GridEngine ------------------------------------------------
+  [[nodiscard]] const workload::Job& job() const override { return job_; }
+  [[nodiscard]] std::size_t num_sites() const override {
+    return data_servers_.size();
+  }
+  [[nodiscard]] std::size_t num_workers() const override {
+    return workers_.size();
+  }
+  [[nodiscard]] SiteId site_of(WorkerId worker) const override;
+  [[nodiscard]] const storage::FileCache& site_cache(
+      SiteId site) const override;
+  void set_cache_listener(SiteId site,
+                          storage::CacheListener listener) override;
+  void assign_task(TaskId task, WorkerId worker) override;
+  bool cancel_task(TaskId task, WorkerId worker) override;
+  [[nodiscard]] bool worker_alive(WorkerId worker) const override;
+  [[nodiscard]] std::size_t worker_backlog(WorkerId worker) const override;
+  [[nodiscard]] double estimated_uplink_bandwidth(SiteId site) const override;
+  [[nodiscard]] double estimated_site_mflops(SiteId site) const override;
+  [[nodiscard]] std::size_t data_server_backlog(SiteId site) const override;
+
+  // --- Introspection ----------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const storage::DataServer& data_server(SiteId site) const;
+  [[nodiscard]] const compute::Worker& worker_info(WorkerId worker) const;
+  [[nodiscard]] std::size_t tasks_completed() const { return completed_count_; }
+  [[nodiscard]] bool task_completed(TaskId task) const {
+    return completed_.at(task.value()) != 0;
+  }
+  [[nodiscard]] const sched::Scheduler& scheduler() const {
+    return *scheduler_;
+  }
+  // Null unless GridConfig::replication was set.
+  [[nodiscard]] const replication::DataReplicator* replicator() const {
+    return replicator_.get();
+  }
+  // Null unless GridConfig::record_timeline was set.
+  [[nodiscard]] const metrics::TimelineRecorder* timeline() const {
+    return timeline_.get();
+  }
+
+ private:
+  enum class WorkerState : std::uint8_t {
+    kIdle,        // nothing queued, request not (yet) sent
+    kRequesting,  // pull request in flight / waiting for an assignment
+    kFetching,    // batch request at the data server
+    kComputing,   // executing the task
+    kOffline,     // crashed; recovers after the churn downtime
+  };
+
+  struct WorkerRuntime {
+    compute::Worker info;
+    WorkerState state = WorkerState::kIdle;
+    std::deque<TaskId> queue;
+    TaskId current;
+    EventId compute_event;
+    EventId churn_event;          // next failure or recovery
+    SimTime control_latency = 0;  // one-way worker <-> scheduler
+  };
+
+  void go_idle(WorkerId worker);
+  void trace(metrics::TimelineEventKind kind, TaskId task, WorkerId worker) {
+    if (timeline_) timeline_->record(sim_.now(), kind, task, worker);
+  }
+  void fail_worker(WorkerId worker);
+  void recover_worker(WorkerId worker);
+  void schedule_failure(WorkerId worker);
+  void stop_churn();
+  void start_next(WorkerId worker);
+  void files_ready(WorkerId worker, TaskId task);
+  void finish_task(WorkerId worker, TaskId task);
+  [[nodiscard]] bool has_instance(TaskId task, WorkerId worker) const;
+
+  GridConfig config_;
+  const workload::Job& job_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+
+  sim::Simulator sim_;
+  net::GridTopology grid_topo_;
+  std::unique_ptr<net::FlowManager> flows_;
+  std::vector<std::unique_ptr<storage::DataServer>> data_servers_;
+  std::unique_ptr<replication::DataReplicator> replicator_;
+  std::unique_ptr<metrics::TimelineRecorder> timeline_;
+  std::vector<WorkerRuntime> workers_;
+
+  std::vector<char> completed_;  // by task id
+  std::vector<std::vector<WorkerId>> instances_;  // active placements
+  std::size_t completed_count_ = 0;
+  SimTime last_completion_ = 0;
+  std::uint64_t assignments_ = 0;
+  std::uint64_t replicas_started_ = 0;
+  std::uint64_t replicas_cancelled_ = 0;
+  std::unique_ptr<Rng> churn_rng_;
+  std::vector<double> bandwidth_estimate_error_;  // per site; empty if exact
+  std::vector<double> mflops_estimate_error_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t instances_lost_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace wcs::grid

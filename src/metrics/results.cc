@@ -1,0 +1,36 @@
+#include "metrics/results.h"
+
+#include <algorithm>
+
+namespace wcs::metrics {
+
+AveragedResult average(const std::vector<RunResult>& runs) {
+  WCS_CHECK(!runs.empty());
+  AveragedResult avg;
+  avg.scheduler = runs.front().scheduler;
+  avg.runs = runs.size();
+  avg.makespan_minutes_min = runs.front().makespan_minutes();
+  avg.makespan_minutes_max = runs.front().makespan_minutes();
+  const double n = static_cast<double>(runs.size());
+  for (const RunResult& r : runs) {
+    WCS_CHECK_MSG(r.scheduler == avg.scheduler,
+                  "averaging across schedulers: " << r.scheduler << " vs "
+                                                  << avg.scheduler);
+    avg.makespan_minutes += r.makespan_minutes() / n;
+    avg.transfers_per_site += r.transfers_per_site() / n;
+    avg.total_file_transfers +=
+        static_cast<double>(r.total_file_transfers()) / n;
+    avg.total_gigabytes += r.total_bytes_transferred() / 1e9 / n;
+    avg.waiting_hours_per_site += r.waiting_hours_per_site() / n;
+    avg.transfer_hours_per_site += r.transfer_hours_per_site() / n;
+    avg.replicas_started += static_cast<double>(r.replicas_started) / n;
+    avg.replicas_cancelled += static_cast<double>(r.replicas_cancelled) / n;
+    avg.makespan_minutes_min =
+        std::min(avg.makespan_minutes_min, r.makespan_minutes());
+    avg.makespan_minutes_max =
+        std::max(avg.makespan_minutes_max, r.makespan_minutes());
+  }
+  return avg;
+}
+
+}  // namespace wcs::metrics

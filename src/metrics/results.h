@@ -1,0 +1,123 @@
+// Result records produced by a simulation run and their aggregation
+// across repetitions (the paper averages every experiment over 5
+// topologies, Sec. 5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wcs::metrics {
+
+// Per-site data-server accounting; mirrors storage::DataServer::Stats
+// plus cache counters. waiting_s / transfer_s are the two columns of the
+// paper's Table 3.
+struct SiteResult {
+  std::uint64_t batches_served = 0;
+  std::uint64_t batches_cancelled = 0;
+  double waiting_s = 0;
+  double transfer_s = 0;
+  std::uint64_t file_transfers = 0;
+  double bytes_transferred = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t evictions = 0;
+};
+
+struct RunResult {
+  std::string scheduler;
+  double makespan_s = 0;
+  std::size_t tasks_completed = 0;
+  std::uint64_t assignments = 0;        // task instances handed to workers
+  std::uint64_t replicas_started = 0;   // assignments beyond the first
+  std::uint64_t replicas_cancelled = 0;
+  std::size_t events_executed = 0;
+  // Proactive data replication (0 when the subsystem is disabled).
+  std::uint64_t files_replicated = 0;
+  double bytes_replicated = 0;
+  // Worker churn (0 when churn is disabled).
+  std::uint64_t worker_failures = 0;
+  std::uint64_t worker_recoveries = 0;
+  std::uint64_t instances_lost = 0;
+  std::vector<SiteResult> sites;
+
+  [[nodiscard]] double makespan_minutes() const {
+    return to_minutes(makespan_s);
+  }
+
+  [[nodiscard]] std::uint64_t total_file_transfers() const {
+    std::uint64_t total = 0;
+    for (const SiteResult& s : sites) total += s.file_transfers;
+    return total;
+  }
+
+  [[nodiscard]] double total_bytes_transferred() const {
+    double total = 0;
+    for (const SiteResult& s : sites) total += s.bytes_transferred;
+    return total;
+  }
+
+  // The paper's Figure 5 series: file transfers averaged per data server.
+  [[nodiscard]] double transfers_per_site() const {
+    WCS_CHECK(!sites.empty());
+    return static_cast<double>(total_file_transfers()) /
+           static_cast<double>(sites.size());
+  }
+
+  [[nodiscard]] double total_waiting_s() const {
+    double total = 0;
+    for (const SiteResult& s : sites) total += s.waiting_s;
+    return total;
+  }
+
+  [[nodiscard]] double total_transfer_s() const {
+    double total = 0;
+    for (const SiteResult& s : sites) total += s.transfer_s;
+    return total;
+  }
+
+  // Table 3 presentation: per-site averages, in hours.
+  [[nodiscard]] double waiting_hours_per_site() const {
+    WCS_CHECK(!sites.empty());
+    return to_hours(total_waiting_s()) / static_cast<double>(sites.size());
+  }
+  [[nodiscard]] double transfer_hours_per_site() const {
+    WCS_CHECK(!sites.empty());
+    return to_hours(total_transfer_s()) / static_cast<double>(sites.size());
+  }
+
+  [[nodiscard]] std::uint64_t total_cache_hits() const {
+    std::uint64_t total = 0;
+    for (const SiteResult& s : sites) total += s.cache_hits;
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t total_evictions() const {
+    std::uint64_t total = 0;
+    for (const SiteResult& s : sites) total += s.evictions;
+    return total;
+  }
+};
+
+// Mean of the headline series over repeated runs (different topology
+// seeds, same workload).
+struct AveragedResult {
+  std::string scheduler;
+  std::size_t runs = 0;
+  double makespan_minutes = 0;
+  double transfers_per_site = 0;
+  double total_file_transfers = 0;
+  double total_gigabytes = 0;
+  double waiting_hours_per_site = 0;
+  double transfer_hours_per_site = 0;
+  double replicas_started = 0;
+  double replicas_cancelled = 0;
+  double makespan_minutes_min = 0;
+  double makespan_minutes_max = 0;
+};
+
+[[nodiscard]] AveragedResult average(const std::vector<RunResult>& runs);
+
+}  // namespace wcs::metrics

@@ -1,0 +1,157 @@
+// Per-task lifecycle timeline.
+//
+// When enabled (GridConfig::record_timeline) the engine records every
+// task-instance transition with its simulated timestamp:
+//
+//   assigned -> fetch-start -> exec-start -> completed
+//                          \-> cancelled (losing replicas, crashes)
+//
+// plus worker failures/recoveries. The recorder derives per-task span
+// breakdowns (queue wait, data wait, execution) — the per-task view of
+// the same quantities Table 3 aggregates per data server — and dumps raw
+// CSV for external analysis.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace wcs::metrics {
+
+enum class TimelineEventKind {
+  kAssigned,    // placed on a worker's queue
+  kFetchStart,  // batch request handed to the data server
+  kExecStart,   // all files resident; compute begins
+  kCompleted,   // task finished (winning instance)
+  kCancelled,   // instance cancelled (replica lost the race, or crash)
+  kWorkerFailed,
+  kWorkerRecovered,
+};
+
+[[nodiscard]] inline const char* to_string(TimelineEventKind kind) {
+  switch (kind) {
+    case TimelineEventKind::kAssigned: return "assigned";
+    case TimelineEventKind::kFetchStart: return "fetch-start";
+    case TimelineEventKind::kExecStart: return "exec-start";
+    case TimelineEventKind::kCompleted: return "completed";
+    case TimelineEventKind::kCancelled: return "cancelled";
+    case TimelineEventKind::kWorkerFailed: return "worker-failed";
+    case TimelineEventKind::kWorkerRecovered: return "worker-recovered";
+  }
+  return "?";
+}
+
+struct TimelineEvent {
+  SimTime time = 0;
+  TimelineEventKind kind{};
+  TaskId task;      // invalid for worker-level events
+  WorkerId worker;
+};
+
+// One completed task instance's phases.
+struct TaskSpan {
+  TaskId task;
+  WorkerId worker;
+  SimTime assigned = 0;
+  SimTime fetch_start = 0;  // == exec-ready wait start
+  SimTime exec_start = 0;
+  SimTime completed = 0;
+
+  [[nodiscard]] double queue_wait_s() const { return fetch_start - assigned; }
+  [[nodiscard]] double data_wait_s() const { return exec_start - fetch_start; }
+  [[nodiscard]] double exec_s() const { return completed - exec_start; }
+  [[nodiscard]] double total_s() const { return completed - assigned; }
+};
+
+class TimelineRecorder {
+ public:
+  void record(SimTime time, TimelineEventKind kind, TaskId task,
+              WorkerId worker) {
+    WCS_DCHECK(events_.empty() || events_.back().time <= time);
+    events_.push_back(TimelineEvent{time, kind, task, worker});
+  }
+
+  [[nodiscard]] const std::vector<TimelineEvent>& events() const {
+    return events_;
+  }
+
+  // Phase breakdown of every COMPLETED instance, in completion order.
+  [[nodiscard]] std::vector<TaskSpan> completed_spans() const {
+    // Latest open (assigned/fetch/exec) times per live instance.
+    std::map<std::pair<TaskId, WorkerId>, TaskSpan> open;
+    std::vector<TaskSpan> done;
+    for (const TimelineEvent& e : events_) {
+      std::pair<TaskId, WorkerId> key{e.task, e.worker};
+      switch (e.kind) {
+        case TimelineEventKind::kAssigned: {
+          TaskSpan span;
+          span.task = e.task;
+          span.worker = e.worker;
+          span.assigned = e.time;
+          open[key] = span;
+          break;
+        }
+        case TimelineEventKind::kFetchStart:
+          if (auto it = open.find(key); it != open.end())
+            it->second.fetch_start = e.time;
+          break;
+        case TimelineEventKind::kExecStart:
+          if (auto it = open.find(key); it != open.end())
+            it->second.exec_start = e.time;
+          break;
+        case TimelineEventKind::kCompleted:
+          if (auto it = open.find(key); it != open.end()) {
+            it->second.completed = e.time;
+            done.push_back(it->second);
+            open.erase(it);
+          }
+          break;
+        case TimelineEventKind::kCancelled:
+          open.erase(key);
+          break;
+        case TimelineEventKind::kWorkerFailed:
+        case TimelineEventKind::kWorkerRecovered:
+          break;
+      }
+    }
+    return done;
+  }
+
+  // Aggregate phase statistics over completed instances.
+  struct PhaseStats {
+    RunningStats queue_wait;
+    RunningStats data_wait;
+    RunningStats exec;
+  };
+  [[nodiscard]] PhaseStats phase_stats() const {
+    PhaseStats stats;
+    for (const TaskSpan& s : completed_spans()) {
+      stats.queue_wait.add(s.queue_wait_s());
+      stats.data_wait.add(s.data_wait_s());
+      stats.exec.add(s.exec_s());
+    }
+    return stats;
+  }
+
+  void dump_csv(std::ostream& out) const {
+    out << "time_s,event,task,worker\n";
+    for (const TimelineEvent& e : events_) {
+      out << e.time << ',' << to_string(e.kind) << ',';
+      if (e.task.valid()) out << e.task.value();
+      out << ',';
+      if (e.worker.valid()) out << e.worker.value();
+      out << '\n';
+    }
+  }
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace wcs::metrics

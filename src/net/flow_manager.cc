@@ -1,0 +1,183 @@
+#include "net/flow_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wcs::net {
+
+namespace {
+// Below this many bytes a flow is considered done; guards against FP dust
+// keeping a flow alive forever.
+constexpr double kEpsilonBytes = 1e-6;
+}  // namespace
+
+FlowId FlowManager::start_flow(NodeId src, NodeId dst, Bytes bytes,
+                               FlowCallback on_complete) {
+  FlowId id(next_flow_++);
+  Flow f;
+  f.id = id;
+  f.route = topo_.route(src, dst);  // copy: route cache may rehash
+  f.remaining = static_cast<double>(bytes);
+  f.on_complete = std::move(on_complete);
+  f.last_update = sim_.now();
+  SimTime latency = topo_.path_latency(src, dst);
+  auto [it, ok] = flows_.emplace(id, std::move(f));
+  WCS_CHECK(ok);
+  it->second.pending_event =
+      sim_.schedule_in(latency, [this, id] { activate(id); });
+  return id;
+}
+
+void FlowManager::activate(FlowId id) {
+  auto it = flows_.find(id);
+  WCS_CHECK(it != flows_.end());
+  Flow& f = it->second;
+  f.active = true;
+  f.pending_event = EventId::invalid();
+  f.last_update = sim_.now();
+  if (f.remaining <= kEpsilonBytes || f.route.empty()) {
+    // Zero-byte transfer, or an intra-node transfer: instantaneous once
+    // latency has been paid.
+    complete(id);
+    return;
+  }
+  reallocate();
+}
+
+void FlowManager::complete(FlowId id) {
+  auto it = flows_.find(id);
+  WCS_CHECK(it != flows_.end());
+  Flow& f = it->second;
+  // Credit the final stretch since the last settle to the link counters
+  // before the flow disappears.
+  if (f.active && f.rate > 0) {
+    double moved =
+        std::min(f.rate * (sim_.now() - f.last_update), f.remaining);
+    for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
+  }
+  FlowCallback cb = std::move(f.on_complete);
+  flows_.erase(it);
+  ++completed_;
+  reallocate();
+  if (cb) cb(id);
+}
+
+bool FlowManager::cancel(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  Flow& f = it->second;
+  if (f.pending_event.valid()) sim_.cancel(f.pending_event);
+  // Settle the bytes this flow moved so link statistics stay accurate.
+  if (f.active && f.rate > 0) {
+    double moved = f.rate * (sim_.now() - f.last_update);
+    for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
+  }
+  flows_.erase(it);
+  ++cancelled_;
+  reallocate();
+  return true;
+}
+
+double FlowManager::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0;
+  return it->second.active ? it->second.rate : 0;
+}
+
+void FlowManager::reallocate() {
+  const SimTime now = sim_.now();
+
+  // 1. Settle every active flow's progress at its old rate.
+  for (auto& [id, f] : flows_) {
+    if (!f.active) continue;
+    if (f.rate > 0) {
+      double moved = f.rate * (now - f.last_update);
+      moved = std::min(moved, f.remaining);
+      f.remaining -= moved;
+      for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
+    }
+    f.last_update = now;
+    if (f.pending_event.valid()) {
+      sim_.cancel(f.pending_event);
+      f.pending_event = EventId::invalid();
+    }
+  }
+
+  // 2. Progressive filling: repeatedly find the most constrained link
+  // (smallest per-flow fair share), freeze its flows at that share, and
+  // subtract their demand from the other links they cross.
+  std::vector<Flow*> unfixed;
+  unfixed.reserve(flows_.size());
+  for (auto& [id, f] : flows_)
+    if (f.active) unfixed.push_back(&f);
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(unfixed.begin(), unfixed.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+
+  std::unordered_map<LinkId::underlying_type, double> cap;
+  std::unordered_map<LinkId::underlying_type, int> crossing;
+  for (Flow* f : unfixed) {
+    for (LinkId lid : f->route) {
+      cap.emplace(lid.value(), topo_.link(lid).bandwidth_bps);
+      ++crossing[lid.value()];
+    }
+  }
+
+  while (!unfixed.empty()) {
+    // Find the bottleneck link: min fair share among links still crossed
+    // by unfixed flows. Ties broken by link id for determinism.
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkId::underlying_type best_link = 0;
+    bool found = false;
+    for (const auto& [lid, c] : cap) {
+      int n = crossing[lid];
+      if (n <= 0) continue;
+      double share = c / n;
+      if (share < best_share ||
+          (share == best_share && (!found || lid < best_link))) {
+        best_share = share;
+        best_link = lid;
+        found = true;
+      }
+    }
+    WCS_CHECK(found);
+
+    // Freeze every unfixed flow crossing the bottleneck at best_share.
+    std::vector<Flow*> still;
+    still.reserve(unfixed.size());
+    for (Flow* f : unfixed) {
+      bool hits = std::find_if(f->route.begin(), f->route.end(),
+                               [&](LinkId l) {
+                                 return l.value() == best_link;
+                               }) != f->route.end();
+      if (!hits) {
+        still.push_back(f);
+        continue;
+      }
+      f->rate = best_share;
+      for (LinkId lid : f->route) {
+        cap[lid.value()] -= best_share;
+        if (cap[lid.value()] < 0) cap[lid.value()] = 0;
+        --crossing[lid.value()];
+      }
+    }
+    unfixed.swap(still);
+  }
+
+  // 3. Reschedule completion events at the new rates.
+  for (auto& [id, f] : flows_) {
+    if (!f.active) continue;
+    if (f.remaining <= kEpsilonBytes) {
+      FlowId fid = id;
+      f.pending_event = sim_.schedule_in(0, [this, fid] { complete(fid); });
+      f.rate = 0;
+      continue;
+    }
+    WCS_CHECK_MSG(f.rate > 0, "active flow with zero rate");
+    FlowId fid = id;
+    f.pending_event =
+        sim_.schedule_in(f.remaining / f.rate, [this, fid] { complete(fid); });
+  }
+}
+
+}  // namespace wcs::net

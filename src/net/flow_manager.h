@@ -1,0 +1,89 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// This reproduces the essential behaviour of SimGrid's fluid TCP model:
+// each active transfer is a flow along a fixed route; whenever the set of
+// active flows changes, link bandwidth is re-divided among flows by
+// progressive filling (max-min fairness) and each flow's completion event
+// is rescheduled for its new rate.
+//
+// Latency is charged once per flow, up front: a flow spends
+// path_latency(src, dst) in a "connecting" phase during which it consumes
+// no bandwidth, then joins the bandwidth-sharing pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace wcs::net {
+
+using FlowCallback = std::function<void(FlowId)>;
+
+class FlowManager {
+ public:
+  FlowManager(sim::Simulator& simulator, const Topology& topology)
+      : sim_(simulator), topo_(topology),
+        link_bytes_(topology.num_links(), 0) {}
+
+  FlowManager(const FlowManager&) = delete;
+  FlowManager& operator=(const FlowManager&) = delete;
+
+  // Start a transfer of `bytes` from src to dst; `on_complete` fires when
+  // the last byte arrives. Zero-byte flows complete after path latency.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes bytes,
+                    FlowCallback on_complete);
+
+  // Abort an in-progress flow; its callback never fires. Returns false if
+  // the flow already completed (or never existed). Bytes already moved
+  // stay counted in the link statistics.
+  bool cancel(FlowId id);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t completed_flows() const { return completed_; }
+  [[nodiscard]] std::uint64_t cancelled_flows() const { return cancelled_; }
+
+  // Bytes carried by each link so far (including partial transfers of
+  // cancelled flows).
+  [[nodiscard]] double link_bytes(LinkId id) const {
+    return link_bytes_.at(id.value());
+  }
+
+  // Current max-min fair rate of a flow, bytes/second. 0 while the flow is
+  // still in its latency phase. Primarily for tests.
+  [[nodiscard]] double flow_rate(FlowId id) const;
+
+ private:
+  struct Flow {
+    FlowId id;
+    Route route;             // empty for same-node transfers
+    double remaining = 0;    // bytes left (double: fluid model)
+    double rate = 0;         // current allocation, bytes/s
+    SimTime last_update = 0; // when `remaining` was last settled
+    bool active = false;     // false during the latency phase
+    EventId pending_event;   // activation or completion event
+    FlowCallback on_complete;
+  };
+
+  void activate(FlowId id);
+  void complete(FlowId id);
+  // Settle progress at the current rates, recompute the max-min
+  // allocation, and reschedule completion events.
+  void reallocate();
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::uint64_t next_flow_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::vector<double> link_bytes_;
+};
+
+}  // namespace wcs::net

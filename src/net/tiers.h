@@ -1,0 +1,58 @@
+// Hierarchical grid topology generator in the spirit of the Tiers tool
+// (Doar, Globecom'96) used by the paper: a WAN core, MAN routers beneath
+// it, and LAN-attached sites beneath those. Each site has a gateway; all
+// hosts of a site (workers + data server) hang off that gateway and
+// therefore share the site's single outgoing link — the structural
+// property the paper's evaluation relies on (Sec. 5.2).
+//
+// The global scheduler and the external file server attach to the WAN
+// core. Link bandwidths/latencies are jittered per topology seed, so the
+// paper's "5 different topologies, results averaged" protocol maps to 5
+// seeds here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/topology.h"
+
+namespace wcs::net {
+
+struct TiersParams {
+  int num_sites = 10;
+  int workers_per_site = 1;
+  int sites_per_man = 4;  // sites attached to each MAN router
+
+  // Baseline link characteristics; each concrete link's bandwidth and
+  // latency are jittered by ±`jitter` (relative) per topology seed.
+  double wan_bandwidth_bps = mbps(155.0);   // MAN router <-> WAN core
+  SimTime wan_latency_s = 0.030;
+  double man_bandwidth_bps = mbps(45.0);    // site gateway <-> MAN router
+  SimTime man_latency_s = 0.010;
+  double uplink_bandwidth_bps = mbps(2.0);  // site shared uplink: gateway side
+  SimTime uplink_latency_s = 0.005;
+  double lan_bandwidth_bps = mbps(1000.0);  // host <-> site switch
+  SimTime lan_latency_s = 1e-4;
+  double core_bandwidth_bps = mbps(622.0);  // scheduler / file server at core
+  SimTime core_latency_s = 1e-3;
+
+  double jitter = 0.25;        // relative bandwidth/latency jitter
+  std::uint64_t seed = 1;
+};
+
+// The generated topology plus the attachment points the grid layer needs.
+struct GridTopology {
+  Topology topology;
+  NodeId scheduler_node;                  // global scheduler host
+  NodeId file_server_node;                // external file server host
+  std::vector<NodeId> data_server_nodes;  // one per site
+  std::vector<std::vector<NodeId>> worker_nodes;  // [site][worker]
+  std::vector<LinkId> site_uplinks;       // the shared outgoing link per site
+};
+
+[[nodiscard]] GridTopology build_tiers_topology(const TiersParams& params);
+
+}  // namespace wcs::net

@@ -1,0 +1,83 @@
+// Network topology: nodes, duplex links, and latency-shortest-path routing.
+//
+// The topology is static for the lifetime of a simulation. Routes are
+// computed with Dijkstra (edge weight = latency, deterministic
+// tie-breaking) and cached per source node.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace wcs::net {
+
+struct Link {
+  LinkId id;
+  NodeId a;
+  NodeId b;
+  double bandwidth_bps = 0;  // bytes per second
+  SimTime latency_s = 0;
+  std::string name;
+};
+
+struct Node {
+  NodeId id;
+  std::string name;
+  std::vector<LinkId> links;  // incident links
+};
+
+// A route is the ordered list of links from src to dst.
+using Route = std::vector<LinkId>;
+
+class Topology {
+ public:
+  NodeId add_node(std::string name);
+  LinkId add_link(NodeId a, NodeId b, double bandwidth_bps, SimTime latency_s,
+                  std::string name = {});
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    WCS_CHECK(id.valid() && id.value() < nodes_.size());
+    return nodes_[id.value()];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    WCS_CHECK(id.valid() && id.value() < links_.size());
+    return links_[id.value()];
+  }
+
+  // Route from src to dst. Returns an empty route when src == dst.
+  // Throws if dst is unreachable.
+  [[nodiscard]] const Route& route(NodeId src, NodeId dst) const;
+
+  // Sum of link latencies along route(src, dst).
+  [[nodiscard]] SimTime path_latency(NodeId src, NodeId dst) const;
+
+  // Minimum link bandwidth along route(src, dst); +inf when src == dst.
+  [[nodiscard]] double path_bandwidth(NodeId src, NodeId dst) const;
+
+  // True if every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  // Per-source shortest path tree: parent link of each node.
+  struct RouteTable {
+    std::vector<LinkId> parent_link;  // indexed by node
+    std::unordered_map<NodeId, Route> routes;
+  };
+
+  void build_table(NodeId src) const;
+  [[nodiscard]] NodeId other_end(const Link& l, NodeId from) const {
+    return l.a == from ? l.b : l.a;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  mutable std::unordered_map<NodeId, RouteTable> tables_;
+};
+
+}  // namespace wcs::net

@@ -1,0 +1,112 @@
+#include "replication/data_replicator.h"
+
+#include <algorithm>
+
+namespace wcs::replication {
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kRandom: return "random";
+    case Placement::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+DataReplicator::DataReplicator(const DataReplicatorParams& params,
+                               sim::Simulator& sim, net::FlowManager& flows,
+                               NodeId file_server_node,
+                               const workload::FileCatalog& catalog,
+                               std::vector<storage::DataServer*> data_servers)
+    : params_(params),
+      sim_(sim),
+      flows_(flows),
+      file_server_node_(file_server_node),
+      catalog_(catalog),
+      data_servers_(std::move(data_servers)),
+      rng_(params.seed) {
+  WCS_CHECK(params_.popularity_threshold > 0);
+  WCS_CHECK(params_.check_interval_s > 0);
+  WCS_CHECK(!data_servers_.empty());
+}
+
+void DataReplicator::start() {
+  WCS_CHECK(!stopped_);
+  next_scan_ = sim_.schedule_in(params_.check_interval_s, [this] { scan(); });
+}
+
+void DataReplicator::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (next_scan_.valid()) sim_.cancel(next_scan_);
+  for (FlowId f : in_flight_) flows_.cancel(f);
+  in_flight_.clear();
+}
+
+void DataReplicator::on_file_fetched(FileId file) {
+  if (stopped_) return;
+  ++popularity_[file];
+}
+
+SiteId DataReplicator::pick_target(FileId file) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t s = 0; s < data_servers_.size(); ++s)
+    if (!data_servers_[s]->cache().contains(file)) candidates.push_back(s);
+  if (candidates.empty()) return SiteId::invalid();
+
+  std::size_t chosen;
+  if (params_.placement == Placement::kRandom) {
+    chosen = candidates[rng_.index(candidates.size())];
+  } else {
+    chosen = candidates.front();
+    for (std::size_t s : candidates)
+      if (data_servers_[s]->queue_length() <
+          data_servers_[chosen]->queue_length())
+        chosen = s;
+  }
+  return SiteId(static_cast<SiteId::underlying_type>(chosen));
+}
+
+void DataReplicator::scan() {
+  if (stopped_) return;
+  ++stats_.rounds;
+
+  // Hot files first, deterministically.
+  std::vector<std::pair<std::size_t, FileId>> hot;
+  for (const auto& [file, count] : popularity_) {
+    if (count < params_.popularity_threshold) continue;
+    if (replicated_.count(file)) continue;
+    hot.emplace_back(count, file);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (hot.size() > params_.max_replicas_per_round)
+    hot.resize(params_.max_replicas_per_round);
+
+  for (const auto& [count, file] : hot) {
+    SiteId target = pick_target(file);
+    if (!target.valid()) {
+      replicated_.insert(file);  // everywhere already; never revisit
+      continue;
+    }
+    replicated_.insert(file);
+    storage::DataServer* ds = data_servers_[target.value()];
+    FileId f = file;
+    FlowId flow = flows_.start_flow(
+        file_server_node_, ds->node(), catalog_.size(file),
+        [this, ds, f](FlowId id) {
+          in_flight_.erase(id);
+          // The demand path may have fetched it meanwhile; and a cache
+          // momentarily full of pinned files just drops the replica.
+          if (!ds->cache().contains(f)) (void)ds->cache().try_insert(f);
+          ++stats_.files_replicated;
+          stats_.bytes_replicated += static_cast<double>(catalog_.size(f));
+        });
+    in_flight_.insert(flow);
+  }
+
+  next_scan_ = sim_.schedule_in(params_.check_interval_s, [this] { scan(); });
+}
+
+}  // namespace wcs::replication

@@ -1,0 +1,398 @@
+#include "sched/worker_centric.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wcs::sched {
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kOverlap: return "overlap";
+    case Metric::kRest: return "rest";
+    case Metric::kCombined: return "combined";
+  }
+  return "?";
+}
+
+WorkerCentricScheduler::WorkerCentricScheduler(
+    const WorkerCentricParams& params)
+    : params_(params), rng_(params.seed) {
+  WCS_CHECK_MSG(params.choose_n >= 1, "ChooseTask(n) needs n >= 1");
+}
+
+std::string WorkerCentricScheduler::name() const {
+  std::string n = to_string(params_.metric);
+  if (params_.metric == Metric::kCombined &&
+      params_.combined_formula == CombinedFormula::kVerbatim)
+    n += "~verbatim";
+  if (params_.choose_n >= 2) n += "." + std::to_string(params_.choose_n);
+  if (params_.replicate_when_idle) n += "+repl";
+  return n;
+}
+
+void WorkerCentricScheduler::on_job_submitted() {
+  build_index();
+}
+
+void WorkerCentricScheduler::build_index() {
+  const workload::Job& job = engine().job();
+  const std::size_t num_tasks = job.num_tasks();
+  const std::size_t num_files = job.catalog.num_files();
+
+  tasks_of_file_.assign(num_files, {});
+  for (const workload::Task& t : job.tasks)
+    for (FileId f : t.files) tasks_of_file_[f.value()].push_back(t.id);
+
+  pending_.assign(num_tasks, 1);
+  pending_list_.resize(num_tasks);
+  pending_pos_.resize(num_tasks);
+  placements_.assign(num_tasks, {});
+  completed_.assign(num_tasks, 0);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    pending_list_[i] = TaskId(static_cast<TaskId::underlying_type>(i));
+    pending_pos_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Seed the per-site overlap/ref-sum counters from whatever the caches
+  // already hold (usually nothing; tests may pre-warm), then subscribe to
+  // incremental updates.
+  sites_.assign(engine().num_sites(), SiteIndex{});
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    SiteId site(static_cast<SiteId::underlying_type>(s));
+    SiteIndex& idx = sites_[s];
+    idx.overlap.assign(num_tasks, 0);
+    idx.ref_sum.assign(num_tasks, 0);
+    const storage::FileCache& cache = engine().site_cache(site);
+    for (FileId f : cache.contents()) {
+      auto refs = static_cast<std::uint64_t>(cache.ref_count(f));
+      for (TaskId t : tasks_of_file_[f.value()]) {
+        ++idx.overlap[t.value()];
+        idx.ref_sum[t.value()] += refs;
+      }
+    }
+    engine().set_cache_listener(
+        site, [this, site](storage::CacheEvent e, FileId f) {
+          on_cache_event(site, e, f);
+        });
+  }
+}
+
+void WorkerCentricScheduler::on_cache_event(SiteId site,
+                                            storage::CacheEvent event,
+                                            FileId file) {
+  SiteIndex& idx = sites_[site.value()];
+  // The listener fires after the cache mutated, so ref_count(file) is the
+  // post-event value: on kAdded the pre-existing count, on kEvicted the
+  // count accumulated while resident (insert/evict do not change counts).
+  switch (event) {
+    case storage::CacheEvent::kAdded: {
+      auto refs = static_cast<std::uint64_t>(
+          engine().site_cache(site).ref_count(file));
+      for (TaskId t : tasks_of_file_[file.value()]) {
+        ++idx.overlap[t.value()];
+        idx.ref_sum[t.value()] += refs;
+      }
+      break;
+    }
+    case storage::CacheEvent::kEvicted: {
+      auto refs = static_cast<std::uint64_t>(
+          engine().site_cache(site).ref_count(file));
+      for (TaskId t : tasks_of_file_[file.value()]) {
+        WCS_DCHECK(idx.overlap[t.value()] > 0);
+        --idx.overlap[t.value()];
+        idx.ref_sum[t.value()] -= refs;
+      }
+      break;
+    }
+    case storage::CacheEvent::kAccessed:
+      // r_i was incremented by exactly one while the file is resident.
+      for (TaskId t : tasks_of_file_[file.value()])
+        idx.ref_sum[t.value()] += 1;
+      break;
+  }
+}
+
+double WorkerCentricScheduler::rest_of(const SiteIndex& idx,
+                                       TaskId task) const {
+  const auto total = engine().job().task(task).files.size();
+  const auto overlap = idx.overlap[task.value()];
+  WCS_DCHECK(overlap <= total);
+  const std::size_t missing = total - overlap;
+  return missing == 0 ? kFullOverlapRestWeight
+                      : 1.0 / static_cast<double>(missing);
+}
+
+std::pair<double, double> WorkerCentricScheduler::totals(
+    const SiteIndex& idx) const {
+  double total_ref = 0;
+  double total_rest = 0;
+  for (TaskId t : pending_list_) {
+    total_ref += static_cast<double>(idx.ref_sum[t.value()]);
+    total_rest += rest_of(idx, t);
+  }
+  return {total_ref, total_rest};
+}
+
+double WorkerCentricScheduler::weight_of(const SiteIndex& idx, TaskId task,
+                                         double total_ref,
+                                         double total_rest) const {
+  switch (params_.metric) {
+    case Metric::kOverlap:
+      return static_cast<double>(idx.overlap[task.value()]);
+    case Metric::kRest:
+      return rest_of(idx, task);
+    case Metric::kCombined: {
+      double ref_term =
+          total_ref > 0
+              ? static_cast<double>(idx.ref_sum[task.value()]) / total_ref
+              : 0.0;
+      double rest = rest_of(idx, task);
+      if (params_.combined_formula == CombinedFormula::kProse)
+        return ref_term + (total_rest > 0 ? rest / total_rest : 0.0);
+      return ref_term + total_rest / rest;  // verbatim paper formula
+    }
+  }
+  WCS_CHECK(false);
+  return 0;
+}
+
+double WorkerCentricScheduler::weight(SiteId site, TaskId task) const {
+  WCS_CHECK_MSG(is_pending(task), "weight() of non-pending task " << task);
+  const SiteIndex& idx = sites_.at(site.value());
+  auto [total_ref, total_rest] = totals(idx);
+  return weight_of(idx, task, total_ref, total_rest);
+}
+
+double WorkerCentricScheduler::naive_weight(SiteId site, TaskId task) const {
+  WCS_CHECK_MSG(is_pending(task), "naive_weight() of non-pending task");
+  const workload::Job& job = engine().job();
+  const storage::FileCache& cache = engine().site_cache(site);
+
+  auto overlap_and_refs = [&](TaskId t) {
+    std::size_t overlap = 0;
+    std::uint64_t refs = 0;
+    for (FileId f : job.task(t).files) {
+      if (cache.contains(f)) {
+        ++overlap;
+        refs += cache.ref_count(f);
+      }
+    }
+    return std::pair{overlap, refs};
+  };
+  auto rest_naive = [&](TaskId t) {
+    auto [overlap, refs] = overlap_and_refs(t);
+    (void)refs;
+    std::size_t missing = job.task(t).files.size() - overlap;
+    return missing == 0 ? kFullOverlapRestWeight
+                        : 1.0 / static_cast<double>(missing);
+  };
+
+  switch (params_.metric) {
+    case Metric::kOverlap:
+      return static_cast<double>(overlap_and_refs(task).first);
+    case Metric::kRest:
+      return rest_naive(task);
+    case Metric::kCombined: {
+      double total_ref = 0;
+      double total_rest = 0;
+      for (TaskId t : pending_list_) {
+        total_ref += static_cast<double>(overlap_and_refs(t).second);
+        total_rest += rest_naive(t);
+      }
+      double ref_term =
+          total_ref > 0
+              ? static_cast<double>(overlap_and_refs(task).second) / total_ref
+              : 0.0;
+      double rest = rest_naive(task);
+      if (params_.combined_formula == CombinedFormula::kProse)
+        return ref_term + (total_rest > 0 ? rest / total_rest : 0.0);
+      return ref_term + total_rest / rest;
+    }
+  }
+  WCS_CHECK(false);
+  return 0;
+}
+
+std::size_t WorkerCentricScheduler::overlap_cardinality(SiteId site,
+                                                        TaskId task) const {
+  return sites_.at(site.value()).overlap.at(task.value());
+}
+
+TaskId WorkerCentricScheduler::choose_task(SiteId site) {
+  WCS_CHECK(!pending_list_.empty());
+  const SiteIndex& idx = sites_[site.value()];
+
+  double total_ref = 0;
+  double total_rest = 0;
+  if (params_.metric == Metric::kCombined)
+    std::tie(total_ref, total_rest) = totals(idx);
+
+  // Top-n selection by (weight desc, task id asc); n is tiny (1 or 2 in
+  // the paper), so a small insertion buffer beats sorting T entries.
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(params_.choose_n),
+                            pending_list_.size());
+  struct Candidate {
+    double weight;
+    TaskId task;
+  };
+  std::vector<Candidate> best;
+  best.reserve(n + 1);
+  auto better = [](const Candidate& a, const Candidate& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.task < b.task;
+  };
+  for (TaskId t : pending_list_) {
+    Candidate c{weight_of(idx, t, total_ref, total_rest), t};
+    if (best.size() == n && !better(c, best.back())) continue;
+    auto pos = std::upper_bound(best.begin(), best.end(), c, better);
+    best.insert(pos, c);
+    if (best.size() > n) best.pop_back();
+  }
+
+  if (best.size() == 1) return best[0].task;
+
+  // Sample among the best-n proportionally to weight (uniform when all
+  // weights are zero — see Rng::weighted_index).
+  std::vector<double> weights;
+  weights.reserve(best.size());
+  for (const Candidate& c : best) weights.push_back(c.weight);
+  return best[rng_.weighted_index(weights)].task;
+}
+
+void WorkerCentricScheduler::remove_pending(TaskId task) {
+  WCS_CHECK(is_pending(task));
+  pending_[task.value()] = 0;
+  std::uint32_t pos = pending_pos_[task.value()];
+  TaskId last = pending_list_.back();
+  pending_list_[pos] = last;
+  pending_pos_[last.value()] = pos;
+  pending_list_.pop_back();
+  // Trim the inverted index so cache events stop touching this task.
+  for (FileId f : engine().job().task(task).files) {
+    auto& vec = tasks_of_file_[f.value()];
+    auto it = std::find(vec.begin(), vec.end(), task);
+    WCS_DCHECK(it != vec.end());
+    *it = vec.back();
+    vec.pop_back();
+  }
+}
+
+void WorkerCentricScheduler::on_worker_idle(WorkerId worker) {
+  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                  starving_.end());
+  if (pending_list_.empty()) {
+    // Bag is empty; optionally shave the tail by replicating. A worker
+    // left without work is remembered: a crash elsewhere may refill the
+    // bag, and feed_starving() then serves it.
+    if (params_.replicate_when_idle && replicate_for(worker)) return;
+    starving_.push_back(worker);
+    return;
+  }
+  TaskId task = choose_task(engine().site_of(worker));
+  remove_pending(task);
+  placements_[task.value()].push_back(worker);
+  engine().assign_task(task, worker);
+}
+
+bool WorkerCentricScheduler::replicate_for(WorkerId worker) {
+  const workload::Job& job = engine().job();
+  const storage::FileCache& cache =
+      engine().site_cache(engine().site_of(worker));
+
+  TaskId best = TaskId::invalid();
+  std::size_t best_missing = SIZE_MAX;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (completed_[i]) continue;
+    const auto& instances = placements_[i];
+    if (instances.empty()) continue;  // never started (cannot happen late)
+    if (instances.size() >= static_cast<std::size_t>(params_.max_replicas))
+      continue;
+    TaskId t(static_cast<TaskId::underlying_type>(i));
+    if (std::find(instances.begin(), instances.end(), worker) !=
+        instances.end())
+      continue;
+    std::size_t missing = 0;
+    for (FileId f : job.task(t).files)
+      if (!cache.contains(f)) ++missing;
+    // Fewest missing files (the rest metric's criterion applied to
+    // replicas); ties to the highest id (assigned latest, most likely to
+    // still be far from finishing).
+    if (missing < best_missing ||
+        (missing == best_missing && best.valid() && t > best)) {
+      best_missing = missing;
+      best = t;
+    }
+  }
+  if (!best.valid()) return false;
+  placements_[best.value()].push_back(worker);
+  engine().assign_task(best, worker);
+  return true;
+}
+
+void WorkerCentricScheduler::on_task_completed(TaskId task, WorkerId worker) {
+  completed_[task.value()] = 1;
+  auto& instances = placements_[task.value()];
+  for (WorkerId w : instances) {
+    if (w == worker) continue;
+    engine().cancel_task(task, w);
+  }
+  instances.clear();
+}
+
+void WorkerCentricScheduler::re_add_pending(TaskId task) {
+  WCS_CHECK(!is_pending(task));
+  WCS_CHECK(!completed_[task.value()]);
+  const workload::Job& job = engine().job();
+
+  // Rebuild the per-site counters against the LIVE cache state (they went
+  // stale the moment the task left the inverted index).
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    SiteId site(static_cast<SiteId::underlying_type>(s));
+    const storage::FileCache& cache = engine().site_cache(site);
+    std::uint32_t overlap = 0;
+    std::uint64_t refs = 0;
+    for (FileId f : job.task(task).files) {
+      if (cache.contains(f)) {
+        ++overlap;
+        refs += cache.ref_count(f);
+      }
+    }
+    sites_[s].overlap[task.value()] = overlap;
+    sites_[s].ref_sum[task.value()] = refs;
+  }
+  for (FileId f : job.task(task).files)
+    tasks_of_file_[f.value()].push_back(task);
+
+  pending_[task.value()] = 1;
+  pending_pos_[task.value()] =
+      static_cast<std::uint32_t>(pending_list_.size());
+  pending_list_.push_back(task);
+}
+
+void WorkerCentricScheduler::feed_starving() {
+  while (!pending_list_.empty() && !starving_.empty()) {
+    WorkerId worker = starving_.front();
+    starving_.erase(starving_.begin());
+    if (!engine().worker_alive(worker)) continue;
+    TaskId task = choose_task(engine().site_of(worker));
+    remove_pending(task);
+    placements_[task.value()].push_back(worker);
+    engine().assign_task(task, worker);
+  }
+}
+
+void WorkerCentricScheduler::on_worker_failed(
+    WorkerId worker, const std::vector<TaskId>& lost) {
+  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                  starving_.end());
+  for (TaskId t : lost) {
+    auto& instances = placements_[t.value()];
+    instances.erase(std::remove(instances.begin(), instances.end(), worker),
+                    instances.end());
+    if (instances.empty() && !completed_[t.value()]) re_add_pending(t);
+  }
+  feed_starving();
+}
+
+}  // namespace wcs::sched

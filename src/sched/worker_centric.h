@@ -1,0 +1,141 @@
+// Worker-centric scheduling (the paper's contribution, Sec. 4).
+//
+// An idle worker requests a task; the scheduler scores every pending task
+// for that worker's site with CalculateWeight() and picks one with
+// ChooseTask(n):
+//
+//   overlap_t  = |F_t|                 (files of t already at the site)
+//   rest_t     = 1 / (|t| - |F_t|)     (inverse of files still to move)
+//   combined_t = ref_t/totalRef + rest_t/totalRest
+//
+// where ref_t = sum of past reference counts r_i over i in F_t, and
+// totalRef/totalRest sum ref_t/rest_t over all pending tasks. The
+// combined formula follows the paper's prose; the verbatim printed
+// formula (ref_t/totalRef + totalRest/rest_t, which contradicts the
+// prose — see DESIGN.md §1) is available as CombinedFormula::kVerbatim
+// for the ablation bench.
+//
+// ChooseTask(n) takes the n best-weighted tasks and samples one with
+// probability proportional to weight; n = 1 is the deterministic
+// algorithms (overlap/rest/combined), n = 2 the randomized ones
+// (rest.2/combined.2).
+//
+// Complexity: the paper's algorithm is O(T * I) per request (scan all
+// tasks, intersect file sets). We keep an incremental per-(site, task)
+// overlap/ref-sum index, updated from cache-change notifications, so a
+// request is an O(T) scan; the semantics are identical (tests cross-check
+// against the naive computation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/scheduler.h"
+
+namespace wcs::sched {
+
+enum class Metric { kOverlap, kRest, kCombined };
+
+[[nodiscard]] const char* to_string(Metric metric);
+
+enum class CombinedFormula {
+  kProse,    // ref_t/totalRef + rest_t/totalRest (both bigger-is-better)
+  kVerbatim  // ref_t/totalRef + totalRest/rest_t (as printed in the paper)
+};
+
+// Weight of a fully-resident task (|t| == |F_t|) under the rest metric,
+// where the paper's 1/(|t|-|F_t|) is undefined. Any finite rest weight is
+// at most 1, so 2 makes "nothing to transfer" strictly best.
+inline constexpr double kFullOverlapRestWeight = 2.0;
+
+struct WorkerCentricParams {
+  Metric metric = Metric::kRest;
+  int choose_n = 1;  // ChooseTask(n); >= 1
+  CombinedFormula combined_formula = CombinedFormula::kProse;
+  std::uint64_t seed = 7;  // only consumed when choose_n >= 2
+
+  // Optional task replication once the bag is empty (paper Sec. 3.2:
+  // replication is ORTHOGONAL to worker-centric scheduling — not needed
+  // for balance, but can shave the tail). An idle worker with no pending
+  // task receives a replica of the incomplete task with the fewest
+  // missing files at its site; first finisher wins.
+  bool replicate_when_idle = false;
+  int max_replicas = 2;  // total concurrent instances per task
+};
+
+class WorkerCentricScheduler final : public Scheduler {
+ public:
+  explicit WorkerCentricScheduler(const WorkerCentricParams& params);
+
+  void on_job_submitted() override;
+  void on_worker_idle(WorkerId worker) override;
+  void on_task_completed(TaskId task, WorkerId worker) override;
+  // Crash handling: lost tasks whose last instance died return to the
+  // pending bag (with their index entries rebuilt against the live cache
+  // state), and are immediately offered to workers that previously asked
+  // for work when the bag was empty.
+  void on_worker_failed(WorkerId worker,
+                        const std::vector<TaskId>& lost) override;
+  [[nodiscard]] std::string name() const override;
+
+  // --- Introspection (tests, examples) ---------------------------------
+
+  // CalculateWeight() of a pending task for a requesting worker at `site`,
+  // from the incremental index. Task must be pending.
+  [[nodiscard]] double weight(SiteId site, TaskId task) const;
+
+  // Same value computed naively from the site cache — O(T * I); the
+  // property tests assert weight() == naive_weight() at every step.
+  [[nodiscard]] double naive_weight(SiteId site, TaskId task) const;
+
+  [[nodiscard]] std::size_t pending_count() const {
+    return pending_list_.size();
+  }
+  [[nodiscard]] bool is_pending(TaskId task) const {
+    return task.value() < pending_.size() && pending_[task.value()];
+  }
+  [[nodiscard]] std::size_t overlap_cardinality(SiteId site,
+                                                TaskId task) const;
+
+ private:
+  struct SiteIndex {
+    std::vector<std::uint32_t> overlap;   // |F_t| per task
+    std::vector<std::uint64_t> ref_sum;   // sum of r_i over F_t per task
+  };
+
+  void build_index();
+  void on_cache_event(SiteId site, storage::CacheEvent event, FileId file);
+  void remove_pending(TaskId task);
+  [[nodiscard]] double weight_of(const SiteIndex& idx, TaskId task,
+                                 double total_ref, double total_rest) const;
+  [[nodiscard]] double rest_of(const SiteIndex& idx, TaskId task) const;
+  // (total_ref, total_rest) over pending tasks for one site.
+  [[nodiscard]] std::pair<double, double> totals(const SiteIndex& idx) const;
+  [[nodiscard]] TaskId choose_task(SiteId site);
+
+  // Replication phase (only when params_.replicate_when_idle). Returns
+  // true if a replica was assigned to the worker.
+  bool replicate_for(WorkerId worker);
+  // Return a task to the pending bag, rebuilding its per-site counters.
+  void re_add_pending(TaskId task);
+  // Hand pending tasks to workers that starved on an empty bag.
+  void feed_starving();
+
+  WorkerCentricParams params_;
+  Rng rng_;
+  std::vector<SiteIndex> sites_;
+  std::vector<std::vector<TaskId>> tasks_of_file_;  // inverted index
+  std::vector<char> pending_;         // by task id
+  std::vector<TaskId> pending_list_;  // dense list for scanning
+  std::vector<std::uint32_t> pending_pos_;  // task id -> index in list
+  // Replication bookkeeping (kept even when replication is off: the
+  // engine reports completions regardless).
+  std::vector<std::vector<WorkerId>> placements_;  // active instances
+  std::vector<char> completed_;
+  // Workers that asked for work while the bag was empty, in ask order.
+  std::vector<WorkerId> starving_;
+};
+
+}  // namespace wcs::sched

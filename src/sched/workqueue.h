@@ -1,0 +1,65 @@
+// Classic workqueue (Cirne et al.): the traditional worker-centric
+// baseline the paper mentions in Sec. 2.3 — an idle worker simply gets
+// the next task in FIFO order, with no data awareness at all. Useful as
+// the no-locality lower bound in ablations.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace wcs::sched {
+
+class WorkqueueScheduler final : public Scheduler {
+ public:
+  void on_job_submitted() override {
+    pending_.clear();
+    for (const workload::Task& t : engine().job().tasks)
+      pending_.push_back(t.id);
+  }
+
+  void on_worker_idle(WorkerId worker) override {
+    starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                    starving_.end());
+    if (pending_.empty()) {
+      starving_.push_back(worker);
+      return;
+    }
+    TaskId t = pending_.front();
+    pending_.pop_front();
+    engine().assign_task(t, worker);
+  }
+
+  void on_task_completed(TaskId, WorkerId) override {}
+
+  void on_worker_failed(WorkerId worker,
+                        const std::vector<TaskId>& lost) override {
+    starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                    starving_.end());
+    // Lost tasks rejoin the head of the queue (they were dispatched
+    // earliest), then any starving worker is fed immediately.
+    for (auto it = lost.rbegin(); it != lost.rend(); ++it)
+      pending_.push_front(*it);
+    while (!pending_.empty() && !starving_.empty()) {
+      WorkerId w = starving_.front();
+      starving_.erase(starving_.begin());
+      if (!engine().worker_alive(w)) continue;
+      TaskId t = pending_.front();
+      pending_.pop_front();
+      engine().assign_task(t, w);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "workqueue"; }
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  std::deque<TaskId> pending_;
+  std::vector<WorkerId> starving_;
+};
+
+}  // namespace wcs::sched

@@ -1,0 +1,182 @@
+#include "sched/xsufferage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wcs::sched {
+
+void XSufferageScheduler::on_job_submitted() {
+  const workload::Job& job = engine().job();
+  const std::size_t num_tasks = job.num_tasks();
+  const std::size_t num_sites = engine().num_sites();
+
+  tasks_of_file_.assign(job.catalog.num_files(), {});
+  task_bytes_.assign(num_tasks, 0);
+  for (const workload::Task& t : job.tasks) {
+    for (FileId f : t.files) {
+      tasks_of_file_[f.value()].push_back(t.id);
+      task_bytes_[t.id.value()] +=
+          static_cast<double>(job.catalog.size(f));
+    }
+  }
+  double total_bytes = 0;
+  for (double b : task_bytes_) total_bytes += b;
+  avg_task_bytes_ = num_tasks ? total_bytes / static_cast<double>(num_tasks)
+                              : 0.0;
+
+  pending_.assign(num_tasks, 1);
+  pending_list_.resize(num_tasks);
+  pending_pos_.resize(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    pending_list_[i] = TaskId(static_cast<TaskId::underlying_type>(i));
+    pending_pos_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  cached_bytes_.assign(num_sites, std::vector<double>(num_tasks, 0));
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    SiteId site(static_cast<SiteId::underlying_type>(s));
+    for (FileId f : engine().site_cache(site).contents()) {
+      double bytes = static_cast<double>(job.catalog.size(f));
+      for (TaskId t : tasks_of_file_[f.value()])
+        cached_bytes_[s][t.value()] += bytes;
+    }
+    engine().set_cache_listener(
+        site, [this, site](storage::CacheEvent e, FileId f) {
+          on_cache_event(site, e, f);
+        });
+  }
+}
+
+void XSufferageScheduler::on_cache_event(SiteId site,
+                                         storage::CacheEvent event,
+                                         FileId file) {
+  if (event == storage::CacheEvent::kAccessed) return;  // bytes unchanged
+  double bytes =
+      static_cast<double>(engine().job().catalog.size(file));
+  double delta = event == storage::CacheEvent::kAdded ? bytes : -bytes;
+  auto& per_task = cached_bytes_[site.value()];
+  for (TaskId t : tasks_of_file_[file.value()])
+    per_task[t.value()] += delta;
+}
+
+double XSufferageScheduler::estimated_completion(TaskId task,
+                                                 SiteId site) const {
+  const std::size_t s = site.value();
+  double bw = engine().estimated_uplink_bandwidth(site);
+  double mflops = engine().estimated_site_mflops(site);
+  double queue_wait =
+      static_cast<double>(engine().data_server_backlog(site)) *
+      avg_task_bytes_ / bw;
+  double missing =
+      std::max(0.0, task_bytes_[task.value()] - cached_bytes_[s][task.value()]);
+  return queue_wait + missing / bw +
+         engine().job().task(task).mflop / mflops;
+}
+
+void XSufferageScheduler::on_worker_idle(WorkerId worker) {
+  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                  starving_.end());
+  if (pending_list_.empty()) {
+    starving_.push_back(worker);
+    return;
+  }
+  const SiteId my_site = engine().site_of(worker);
+  const std::size_t num_sites = engine().num_sites();
+
+  TaskId best_sufferage_task = TaskId::invalid();
+  double best_sufferage = -1;
+  TaskId best_local_task = TaskId::invalid();
+  double best_local_ect = std::numeric_limits<double>::infinity();
+
+  for (TaskId t : pending_list_) {
+    double ect1 = std::numeric_limits<double>::infinity();
+    double ect2 = std::numeric_limits<double>::infinity();
+    SiteId arg1 = SiteId::invalid();
+    double local_ect = 0;
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      SiteId site(static_cast<SiteId::underlying_type>(s));
+      double ect = estimated_completion(t, site);
+      if (site == my_site) local_ect = ect;
+      if (ect < ect1) {
+        ect2 = ect1;
+        ect1 = ect;
+        arg1 = site;
+      } else if (ect < ect2) {
+        ect2 = ect;
+      }
+    }
+    if (local_ect < best_local_ect ||
+        (local_ect == best_local_ect && t < best_local_task)) {
+      best_local_ect = local_ect;
+      best_local_task = t;
+    }
+    if (arg1 != my_site) continue;
+    double sufferage = (num_sites > 1 && std::isfinite(ect2))
+                           ? ect2 - ect1
+                           : 0.0;
+    if (sufferage > best_sufferage ||
+        (sufferage == best_sufferage && t < best_sufferage_task)) {
+      best_sufferage = sufferage;
+      best_sufferage_task = t;
+    }
+  }
+
+  TaskId chosen = best_sufferage_task.valid() ? best_sufferage_task
+                                              : best_local_task;
+  WCS_CHECK(chosen.valid());
+  remove_pending(chosen);
+  engine().assign_task(chosen, worker);
+}
+
+void XSufferageScheduler::remove_pending(TaskId task) {
+  WCS_CHECK(pending_[task.value()]);
+  pending_[task.value()] = 0;
+  std::uint32_t pos = pending_pos_[task.value()];
+  TaskId last = pending_list_.back();
+  pending_list_[pos] = last;
+  pending_pos_[last.value()] = pos;
+  pending_list_.pop_back();
+  for (FileId f : engine().job().task(task).files) {
+    auto& vec = tasks_of_file_[f.value()];
+    auto it = std::find(vec.begin(), vec.end(), task);
+    WCS_DCHECK(it != vec.end());
+    *it = vec.back();
+    vec.pop_back();
+  }
+}
+
+void XSufferageScheduler::on_task_completed(TaskId, WorkerId) {}
+
+void XSufferageScheduler::on_worker_failed(WorkerId worker,
+                                           const std::vector<TaskId>& lost) {
+  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
+                  starving_.end());
+  const workload::Job& job = engine().job();
+  for (TaskId t : lost) {
+    // Re-home: rebuild cached-bytes counters and rejoin the pending pool.
+    for (std::size_t s = 0; s < cached_bytes_.size(); ++s) {
+      SiteId site(static_cast<SiteId::underlying_type>(s));
+      const storage::FileCache& cache = engine().site_cache(site);
+      double bytes = 0;
+      for (FileId f : job.task(t).files)
+        if (cache.contains(f))
+          bytes += static_cast<double>(job.catalog.size(f));
+      cached_bytes_[s][t.value()] = bytes;
+    }
+    for (FileId f : job.task(t).files)
+      tasks_of_file_[f.value()].push_back(t);
+    pending_[t.value()] = 1;
+    pending_pos_[t.value()] =
+        static_cast<std::uint32_t>(pending_list_.size());
+    pending_list_.push_back(t);
+  }
+  while (!pending_list_.empty() && !starving_.empty()) {
+    WorkerId w = starving_.front();
+    starving_.erase(starving_.begin());
+    if (!engine().worker_alive(w)) continue;
+    on_worker_idle(w);
+  }
+}
+
+}  // namespace wcs::sched

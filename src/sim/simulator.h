@@ -1,0 +1,123 @@
+// Discrete-event simulation kernel.
+//
+// This is the SimGrid-equivalent substrate the paper's evaluation runs on
+// (see DESIGN.md §2). It is a classic event-queue kernel: callbacks are
+// scheduled at absolute simulated times; `run()` pops events in
+// (time, insertion-sequence) order, so simultaneous events execute in the
+// deterministic order they were scheduled. Everything above (network
+// flows, data servers, workers, schedulers) is driven from these events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace wcs::sim {
+
+using EventCallback = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable, non-movable: entities capture `this` in callbacks.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `cb` to run at now() + delay. delay must be >= 0.
+  EventId schedule_in(SimTime delay, EventCallback cb) {
+    WCS_CHECK_MSG(delay >= 0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Schedule `cb` at the absolute simulated time `at` (>= now()).
+  EventId schedule_at(SimTime at, EventCallback cb) {
+    WCS_CHECK_MSG(at >= now_, "event in the past: " << at << " < " << now_);
+    EventId id(next_seq_++);
+    queue_.push(Entry{at, id, std::move(cb)});
+    live_.insert(id);
+    return id;
+  }
+
+  // Cancel a pending event. Cancelling an already-fired or
+  // already-cancelled event is a no-op (returns false).
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    if (live_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    return true;
+  }
+
+  // Run a single event. Returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Entry e = pop();
+      if (cancelled_.erase(e.id) > 0) continue;
+      live_.erase(e.id);
+      now_ = e.time;
+      ++executed_;
+      e.cb();
+      return true;
+    }
+    return false;
+  }
+
+  // Run until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  // Run events with time <= deadline, then set the clock to the deadline
+  // (if it has not already passed it).
+  void run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      if (!step()) break;
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  // True when no live (scheduled, uncancelled, unfired) events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventCallback cb;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  Entry pop() {
+    // std::priority_queue::top() returns const&; the callback must be
+    // moved out, so we const_cast on the known-safe pattern (the element
+    // is removed immediately after).
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    return e;
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace wcs::sim

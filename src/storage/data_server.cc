@@ -1,0 +1,123 @@
+#include "storage/data_server.h"
+
+#include <algorithm>
+
+namespace wcs::storage {
+
+void DataServer::request_batch(TaskId task, WorkerId worker,
+                               std::span<const FileId> files,
+                               BatchCallback done) {
+  WCS_CHECK_MSG(!files.empty(), "empty batch for task " << task);
+  WCS_CHECK_MSG(files.size() <= cache_.capacity(),
+                "task " << task << " needs " << files.size()
+                        << " files but the data server holds only "
+                        << cache_.capacity());
+  auto batch = std::make_unique<Batch>();
+  batch->task = task;
+  batch->worker = worker;
+  batch->files.assign(files.begin(), files.end());
+  batch->done = std::move(done);
+  batch->enqueued = sim_.now();
+  queue_.push_back(std::move(batch));
+  serve_next();
+}
+
+void DataServer::serve_next() {
+  if (current_ || queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  current_->service_start = sim_.now();
+  stats_.waiting_s += sim_.now() - current_->enqueued;
+  continue_batch();
+}
+
+void DataServer::continue_batch() {
+  Batch& b = *current_;
+  while (b.next_index < b.files.size()) {
+    FileId f = b.files[b.next_index];
+    if (cache_.contains(f)) {
+      cache_.record_access(f);
+      cache_.pin(f);
+      b.pinned.push_back(f);
+      ++b.next_index;
+      ++stats_.cache_hits;
+      continue;
+    }
+    // Miss: fetch from the external file server; the batch blocks until
+    // the file lands (files within a batch are fetched sequentially, as
+    // the serial data server implies).
+    b.in_flight = flows_.start_flow(
+        file_server_node_, node_, catalog_.size(f),
+        [this, f](FlowId) { on_file_arrived(f); });
+    return;
+  }
+
+  // Batch complete: hand pins over to the executing-task ledger and
+  // notify the worker.
+  stats_.transfer_s += sim_.now() - b.service_start;
+  ++stats_.batches_served;
+  BatchKey key{b.task, b.worker};
+  auto [it, inserted] = executing_pins_.emplace(key, std::move(b.pinned));
+  WCS_CHECK_MSG(inserted, "batch for task " << key.first << " on worker "
+                                            << key.second
+                                            << " completed twice");
+  BatchCallback done = std::move(b.done);
+  current_.reset();
+  if (done) done();
+  serve_next();
+}
+
+void DataServer::on_file_arrived(FileId file) {
+  WCS_CHECK(current_ != nullptr);
+  Batch& b = *current_;
+  WCS_CHECK(b.next_index < b.files.size() && b.files[b.next_index] == file);
+  b.in_flight = FlowId::invalid();
+  ++stats_.file_transfers;
+  stats_.bytes_transferred += static_cast<double>(catalog_.size(file));
+  // A proactive replica may have landed the same file while our demand
+  // fetch was in flight; the bytes still moved, but the insert is moot.
+  if (!cache_.contains(file))
+    cache_.insert(file);  // may evict unpinned residents
+  cache_.record_access(file);
+  cache_.pin(file);
+  b.pinned.push_back(file);
+  ++b.next_index;
+  if (transfer_listener_) transfer_listener_(file);
+  continue_batch();
+}
+
+void DataServer::drop_pins(const std::vector<FileId>& pins) {
+  for (FileId f : pins) cache_.unpin(f);
+}
+
+bool DataServer::cancel_batch(TaskId task, WorkerId worker) {
+  BatchKey key{task, worker};
+  if (current_ && current_->task == task && current_->worker == worker) {
+    if (current_->in_flight.valid()) flows_.cancel(current_->in_flight);
+    drop_pins(current_->pinned);
+    stats_.transfer_s += sim_.now() - current_->service_start;
+    ++stats_.batches_cancelled;
+    current_.reset();
+    serve_next();
+    return true;
+  }
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const std::unique_ptr<Batch>& b) {
+                           return b->task == task && b->worker == worker;
+                         });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  ++stats_.batches_cancelled;
+  return true;
+}
+
+void DataServer::release(TaskId task, WorkerId worker) {
+  auto it = executing_pins_.find(BatchKey{task, worker});
+  WCS_CHECK_MSG(it != executing_pins_.end(),
+                "release of unknown batch: task " << task << " worker "
+                                                  << worker);
+  drop_pins(it->second);
+  executing_pins_.erase(it);
+}
+
+}  // namespace wcs::storage

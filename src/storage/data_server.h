@@ -1,0 +1,129 @@
+// Per-site data server.
+//
+// Implements assumptions 2–5 of the paper's system model (Sec. 2.2):
+// one data server per site; it receives batch file requests from the
+// site's workers and serves them ONE AT A TIME (serial service "is more
+// efficient than simultaneous requests, given the bandwidth limits");
+// missing files are fetched sequentially from the external file server
+// over the site's shared uplink; a worker may start executing only when
+// every file of its task is resident.
+//
+// The server records, per batch, the queue waiting time and the transfer
+// (service) time — the two columns of the paper's Table 3 — plus transfer
+// counts and bytes (Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/flow_manager.h"
+#include "sim/simulator.h"
+#include "storage/file_cache.h"
+#include "workload/job.h"
+
+namespace wcs::storage {
+
+// Fires once every file of the batch is resident and pinned.
+using BatchCallback = std::function<void()>;
+
+class DataServer {
+ public:
+  struct Stats {
+    std::uint64_t batches_served = 0;
+    std::uint64_t batches_cancelled = 0;
+    double waiting_s = 0;    // total time batches spent queued
+    double transfer_s = 0;   // total time spent servicing batches
+    std::uint64_t file_transfers = 0;  // fetches from the file server
+    double bytes_transferred = 0;
+    std::uint64_t cache_hits = 0;      // files already resident at service
+  };
+
+  DataServer(SiteId site, sim::Simulator& simulator, net::FlowManager& flows,
+             NodeId self_node, NodeId file_server_node,
+             const workload::FileCatalog& catalog, std::size_t capacity_files,
+             EvictionPolicy policy)
+      : site_(site),
+        sim_(simulator),
+        flows_(flows),
+        node_(self_node),
+        file_server_node_(file_server_node),
+        catalog_(catalog),
+        cache_(capacity_files, policy) {}
+
+  DataServer(const DataServer&) = delete;
+  DataServer& operator=(const DataServer&) = delete;
+
+  // Enqueue a batch request for all of `files` on behalf of (task, worker).
+  // `done` fires when every file is resident and pinned for this batch.
+  void request_batch(TaskId task, WorkerId worker,
+                     std::span<const FileId> files, BatchCallback done);
+
+  // Abort a queued or in-service batch (replica cancellation). Returns
+  // false if no such batch is queued or in service (e.g. it already
+  // completed — use release() for that). Files already fetched stay
+  // cached; pins taken by the batch are dropped.
+  bool cancel_batch(TaskId task, WorkerId worker);
+
+  // Unpin the files of a completed batch after its task finished
+  // executing.
+  void release(TaskId task, WorkerId worker);
+
+  // Observer of demand fetches (fires once per file transferred from the
+  // file server, after the file is cached). Used by the proactive
+  // replication subsystem to track global popularity.
+  using TransferListener = std::function<void(FileId)>;
+  void set_transfer_listener(TransferListener listener) {
+    transfer_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FileCache& cache() const { return cache_; }
+  [[nodiscard]] FileCache& cache() { return cache_; }
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return current_ != nullptr; }
+
+ private:
+  struct Batch {
+    TaskId task;
+    WorkerId worker;
+    std::vector<FileId> files;
+    BatchCallback done;
+    SimTime enqueued = 0;
+    SimTime service_start = 0;
+    std::size_t next_index = 0;      // next file to ensure resident
+    std::vector<FileId> pinned;      // pins taken so far
+    FlowId in_flight = FlowId::invalid();
+  };
+
+  using BatchKey = std::pair<TaskId, WorkerId>;
+
+  void serve_next();
+  void continue_batch();
+  void on_file_arrived(FileId file);
+  void drop_pins(const std::vector<FileId>& pins);
+
+  SiteId site_;
+  sim::Simulator& sim_;
+  net::FlowManager& flows_;
+  NodeId node_;
+  NodeId file_server_node_;
+  const workload::FileCatalog& catalog_;
+  FileCache cache_;
+  std::deque<std::unique_ptr<Batch>> queue_;
+  std::unique_ptr<Batch> current_;
+  // Pins held by batches whose task is currently executing.
+  std::map<BatchKey, std::vector<FileId>> executing_pins_;
+  TransferListener transfer_listener_;
+  Stats stats_;
+};
+
+}  // namespace wcs::storage

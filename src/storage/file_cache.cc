@@ -1,0 +1,105 @@
+#include "storage/file_cache.h"
+
+#include <limits>
+
+namespace wcs::storage {
+
+const char* to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kFifo: return "fifo";
+    case EvictionPolicy::kMinRef: return "minref";
+  }
+  return "?";
+}
+
+void FileCache::record_access(FileId f) {
+  auto it = entries_.find(f);
+  WCS_CHECK_MSG(it != entries_.end(), "access to absent file " << f);
+  ++ref_counts_[f];
+  if (policy_ == EvictionPolicy::kLru)
+    order_.splice(order_.end(), order_, it->second.order_it);
+  notify(CacheEvent::kAccessed, f);
+}
+
+void FileCache::insert(FileId f) {
+  WCS_CHECK_MSG(!contains(f), "file " << f << " already cached");
+  while (entries_.size() >= capacity_) evict_one();
+  Entry e;
+  e.order_it = order_.insert(order_.end(), f);
+  entries_.emplace(f, e);
+  notify(CacheEvent::kAdded, f);
+}
+
+bool FileCache::has_insert_room() const {
+  if (entries_.size() < capacity_) return true;
+  for (const auto& [f, e] : entries_)
+    if (e.pin_count == 0) return true;
+  return false;
+}
+
+bool FileCache::try_insert(FileId f) {
+  if (!has_insert_room()) return false;
+  insert(f);
+  return true;
+}
+
+void FileCache::evict_one() {
+  FileId victim = FileId::invalid();
+  if (policy_ == EvictionPolicy::kMinRef) {
+    // O(n) scan over resident unpinned files; MinRef is an ablation
+    // policy, not a hot default.
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const auto& [f, e] : entries_) {
+      if (e.pin_count > 0) continue;
+      std::size_t r = ref_count(f);
+      if (r < best || (r == best && (!victim.valid() || f < victim))) {
+        best = r;
+        victim = f;
+      }
+    }
+  } else {
+    for (FileId f : order_) {
+      if (entries_.at(f).pin_count == 0) {
+        victim = f;
+        break;
+      }
+    }
+  }
+  WCS_CHECK_MSG(victim.valid(),
+                "cache full of pinned files (capacity " << capacity_
+                << ") — capacity must cover the concurrent working set");
+  auto it = entries_.find(victim);
+  order_.erase(it->second.order_it);
+  entries_.erase(it);
+  ++evictions_;
+  notify(CacheEvent::kEvicted, victim);
+}
+
+void FileCache::pin(FileId f) {
+  auto it = entries_.find(f);
+  WCS_CHECK_MSG(it != entries_.end(), "pin of absent file " << f);
+  ++it->second.pin_count;
+}
+
+void FileCache::unpin(FileId f) {
+  auto it = entries_.find(f);
+  WCS_CHECK_MSG(it != entries_.end(), "unpin of absent file " << f);
+  WCS_CHECK_MSG(it->second.pin_count > 0, "unpin of unpinned file " << f);
+  --it->second.pin_count;
+}
+
+bool FileCache::pinned(FileId f) const {
+  auto it = entries_.find(f);
+  WCS_CHECK_MSG(it != entries_.end(), "pinned() on absent file " << f);
+  return it->second.pin_count > 0;
+}
+
+std::vector<FileId> FileCache::contents() const {
+  std::vector<FileId> out;
+  out.reserve(entries_.size());
+  for (const auto& [f, e] : entries_) out.push_back(f);
+  return out;
+}
+
+}  // namespace wcs::storage

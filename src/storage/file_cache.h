@@ -1,0 +1,120 @@
+// Capacity-bounded file cache of a site's data server.
+//
+// The paper measures storage capacity in number of (equally-sized) files
+// (Table 1), so capacity here is a file count. The cache additionally
+// maintains:
+//
+//   - pinning: files needed by a task that is currently fetching or
+//     executing are pinned and never evicted (assumption 5 of the paper's
+//     model requires all of a task's files to be present for its whole
+//     execution);
+//   - persistent reference counts r_i ("the number of past references of
+//     the file i at the local storage", Sec. 4.2) — these survive
+//     eviction, and feed the `combined` metric;
+//   - a change listener so schedulers can maintain incremental
+//     per-(site, task) overlap indexes instead of rescanning caches.
+//
+// Eviction policies: LRU (default), FIFO, and MinRef (evict the file with
+// the fewest past references) for the eviction-policy ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace wcs::storage {
+
+enum class EvictionPolicy { kLru, kFifo, kMinRef };
+
+[[nodiscard]] const char* to_string(EvictionPolicy policy);
+
+enum class CacheEvent {
+  kAdded,     // file inserted into the cache
+  kEvicted,   // file evicted to make room
+  kAccessed,  // reference count incremented (file is present)
+};
+
+using CacheListener = std::function<void(CacheEvent, FileId)>;
+
+class FileCache {
+ public:
+  FileCache(std::size_t capacity_files, EvictionPolicy policy)
+      : capacity_(capacity_files), policy_(policy) {
+    WCS_CHECK(capacity_files > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] EvictionPolicy policy() const { return policy_; }
+
+  [[nodiscard]] bool contains(FileId f) const {
+    return entries_.find(f) != entries_.end();
+  }
+
+  // Record a task's use of a present file: bumps r_i, refreshes recency.
+  // The file must be present.
+  void record_access(FileId f);
+
+  // Insert a missing file, evicting unpinned files as needed. Throws if
+  // the cache is full of pinned files (an invalid configuration — see
+  // GridConfig validation). The file must not be present.
+  void insert(FileId f);
+
+  // Insert if an eviction victim exists (or there is room); returns false
+  // and leaves the cache untouched when everything resident is pinned.
+  // Used by opportunistic writers (proactive replication) that must not
+  // abort the simulation on a transiently full cache.
+  bool try_insert(FileId f);
+
+  // True if insert() would succeed without throwing.
+  [[nodiscard]] bool has_insert_room() const;
+
+  // Pin/unpin; pins nest. The file must be present.
+  void pin(FileId f);
+  void unpin(FileId f);
+  [[nodiscard]] bool pinned(FileId f) const;
+
+  // Past references r_i of a file at this storage; persists across
+  // eviction. Zero for files never seen here.
+  [[nodiscard]] std::size_t ref_count(FileId f) const {
+    auto it = ref_counts_.find(f);
+    return it == ref_counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  // Snapshot of resident file ids (unspecified order).
+  [[nodiscard]] std::vector<FileId> contents() const;
+
+  // At most one listener; pass nullptr-like (default constructed) to
+  // clear. Fired synchronously on every mutation.
+  void set_listener(CacheListener listener) { listener_ = std::move(listener); }
+
+ private:
+  struct Entry {
+    std::list<FileId>::iterator order_it;  // position in order_ (LRU/FIFO)
+    std::uint32_t pin_count = 0;
+  };
+
+  void evict_one();
+  void notify(CacheEvent e, FileId f) {
+    if (listener_) listener_(e, f);
+  }
+
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  // order_: front = next eviction candidate. LRU moves accessed entries to
+  // the back; FIFO never reorders. Unused (empty) for MinRef.
+  std::list<FileId> order_;
+  std::unordered_map<FileId, Entry> entries_;
+  std::unordered_map<FileId, std::size_t> ref_counts_;
+  std::uint64_t evictions_ = 0;
+  CacheListener listener_;
+};
+
+}  // namespace wcs::storage

@@ -1,0 +1,94 @@
+#include "workload/generators.h"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace wcs::workload {
+
+namespace {
+
+Job make_job(std::string name, const GeneratorParams& p,
+             std::vector<std::vector<FileId>> file_sets,
+             std::size_t catalog_size) {
+  Job job;
+  job.name = std::move(name);
+  job.catalog = FileCatalog(catalog_size, p.file_size);
+  job.tasks.reserve(file_sets.size());
+  for (std::size_t i = 0; i < file_sets.size(); ++i) {
+    Task t;
+    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
+    t.files = std::move(file_sets[i]);
+    t.mflop = p.mflop_per_file * static_cast<double>(t.files.size());
+    job.tasks.push_back(std::move(t));
+  }
+  validate_job(job);
+  return job;
+}
+
+}  // namespace
+
+Job generate_uniform(const GeneratorParams& p) {
+  WCS_CHECK(p.files_per_task <= p.num_files);
+  Rng rng(p.seed);
+  std::vector<std::vector<FileId>> sets(p.num_tasks);
+  for (auto& set : sets) {
+    std::unordered_set<std::size_t> picked;
+    while (picked.size() < p.files_per_task) {
+      std::size_t f = rng.index(p.num_files);
+      if (picked.insert(f).second)
+        set.push_back(FileId(static_cast<FileId::underlying_type>(f)));
+    }
+  }
+  return make_job("uniform", p, std::move(sets), p.num_files);
+}
+
+Job generate_zipf(const GeneratorParams& p, double exponent) {
+  WCS_CHECK(p.files_per_task <= p.num_files);
+  Rng rng(p.seed);
+  std::vector<std::vector<FileId>> sets(p.num_tasks);
+  for (auto& set : sets) {
+    std::unordered_set<std::size_t> picked;
+    while (picked.size() < p.files_per_task) {
+      std::size_t f = rng.zipf(p.num_files, exponent) - 1;
+      if (picked.insert(f).second)
+        set.push_back(FileId(static_cast<FileId::underlying_type>(f)));
+    }
+  }
+  return make_job("zipf", p, std::move(sets), p.num_files);
+}
+
+Job generate_partitioned(const GeneratorParams& p) {
+  std::vector<std::vector<FileId>> sets(p.num_tasks);
+  std::size_t next = 0;
+  for (auto& set : sets) {
+    set.reserve(p.files_per_task);
+    for (std::size_t i = 0; i < p.files_per_task; ++i)
+      set.push_back(FileId(static_cast<FileId::underlying_type>(next++)));
+  }
+  return make_job("partitioned", p, std::move(sets), next);
+}
+
+Job generate_sliding_window(std::size_t num_tasks, std::size_t width,
+                            std::size_t stride, Bytes file_size,
+                            double mflop_per_file) {
+  WCS_CHECK(width > 0);
+  GeneratorParams p;
+  p.num_tasks = num_tasks;
+  p.file_size = file_size;
+  p.mflop_per_file = mflop_per_file;
+  std::vector<std::vector<FileId>> sets(num_tasks);
+  std::size_t catalog = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    sets[t].reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      std::size_t f = t * stride + i;
+      catalog = std::max(catalog, f + 1);
+      sets[t].push_back(FileId(static_cast<FileId::underlying_type>(f)));
+    }
+  }
+  return make_job("sliding-window", p, std::move(sets), catalog);
+}
+
+}  // namespace wcs::workload

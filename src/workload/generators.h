@@ -1,0 +1,50 @@
+// Generic Bag-of-Tasks workload generators.
+//
+// These complement the Coadd generator: they let tests and ablation
+// benches explore sharing regimes the paper's workload does not cover
+// (no sharing at all, uniform sharing, heavily skewed popularity — the
+// geometric popularity of Ranganathan & Foster is approximated by the
+// Zipf generator).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/job.h"
+
+namespace wcs::workload {
+
+struct GeneratorParams {
+  std::size_t num_tasks = 100;
+  std::size_t num_files = 1000;       // catalog size
+  std::size_t files_per_task = 20;
+  Bytes file_size = megabytes(25);
+  double mflop_per_file = 2.0e5;
+  std::uint64_t seed = 1;
+};
+
+// Each task draws its input set uniformly without replacement from the
+// catalog: moderate, unstructured sharing.
+[[nodiscard]] Job generate_uniform(const GeneratorParams& params);
+
+// Skewed popularity: file ranks drawn from a Zipf distribution, so a few
+// hot files are in almost every task. Stress-case for the
+// unbalanced-assignment problem of task-centric scheduling.
+[[nodiscard]] Job generate_zipf(const GeneratorParams& params,
+                                double exponent = 1.0);
+
+// Disjoint input sets: zero sharing between tasks. Data reuse is
+// impossible, so all locality-aware metrics degenerate; lower-bound
+// baseline for reuse benefits. Requires
+// num_tasks * files_per_task <= num_files is NOT required — the catalog
+// is grown to fit.
+[[nodiscard]] Job generate_partitioned(const GeneratorParams& params);
+
+// Sliding-window job over one strip (the Coadd building block exposed
+// directly): task t reads files [t*stride, t*stride + width).
+[[nodiscard]] Job generate_sliding_window(std::size_t num_tasks,
+                                          std::size_t width,
+                                          std::size_t stride,
+                                          Bytes file_size = megabytes(25),
+                                          double mflop_per_file = 2.0e5);
+
+}  // namespace wcs::workload

@@ -1,0 +1,47 @@
+#include "workload/job.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wcs::workload {
+
+JobStats compute_stats(const Job& job) {
+  JobStats stats;
+  stats.num_tasks = job.tasks.size();
+  std::unordered_map<FileId, std::size_t> refs;
+  std::size_t total_files = 0;
+  stats.min_files_per_task = job.tasks.empty() ? 0 : SIZE_MAX;
+  for (const Task& t : job.tasks) {
+    stats.max_files_per_task = std::max(stats.max_files_per_task, t.files.size());
+    stats.min_files_per_task = std::min(stats.min_files_per_task, t.files.size());
+    total_files += t.files.size();
+    for (FileId f : t.files) ++refs[f];
+  }
+  stats.distinct_files = refs.size();
+  stats.avg_files_per_task =
+      stats.num_tasks ? static_cast<double>(total_files) /
+                            static_cast<double>(stats.num_tasks)
+                      : 0.0;
+  for (const auto& [f, count] : refs) stats.refs_cdf.add(count);
+  return stats;
+}
+
+void validate_job(const Job& job) {
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    const Task& t = job.tasks[i];
+    WCS_CHECK_MSG(t.id.valid() && t.id.value() == i,
+                  "task ids must be dense 0-based indices");
+    WCS_CHECK_MSG(!t.files.empty(), "task " << t.id << " has no input files");
+    WCS_CHECK_MSG(t.mflop > 0, "task " << t.id << " has no compute cost");
+    std::unordered_set<FileId> seen;
+    for (FileId f : t.files) {
+      WCS_CHECK_MSG(f.valid() && f.value() < job.catalog.num_files(),
+                    "task " << t.id << " references unknown file " << f);
+      WCS_CHECK_MSG(seen.insert(f).second,
+                    "task " << t.id << " references file " << f << " twice");
+    }
+  }
+}
+
+}  // namespace wcs::workload

@@ -1,0 +1,99 @@
+// Core workload data model: files, tasks, jobs.
+//
+// A job is a Bag-of-Tasks (paper Sec. 2.2, assumption 1): independent
+// tasks, each needing a set of input files. The file catalog records the
+// size of every file; schedulers and the storage layer only ever see
+// (task -> file set) plus sizes, which is exactly the information the
+// paper's schedulers use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace wcs::workload {
+
+class FileCatalog {
+ public:
+  FileCatalog() = default;
+
+  // All files the same size (paper Sec. 2.2, assumption 8).
+  FileCatalog(std::size_t num_files, Bytes uniform_size)
+      : sizes_(num_files, uniform_size) {}
+
+  FileId add_file(Bytes size) {
+    FileId id(static_cast<FileId::underlying_type>(sizes_.size()));
+    sizes_.push_back(size);
+    return id;
+  }
+
+  [[nodiscard]] Bytes size(FileId id) const {
+    WCS_CHECK(id.valid() && id.value() < sizes_.size());
+    return sizes_[id.value()];
+  }
+
+  [[nodiscard]] std::size_t num_files() const { return sizes_.size(); }
+
+  [[nodiscard]] Bytes total_bytes() const {
+    Bytes total = 0;
+    for (Bytes b : sizes_) total += b;
+    return total;
+  }
+
+ private:
+  std::vector<Bytes> sizes_;
+};
+
+struct Task {
+  TaskId id;
+  std::vector<FileId> files;  // input set; no duplicates
+  double mflop = 0;           // compute cost in MFLOP
+
+  [[nodiscard]] std::size_t num_files() const { return files.size(); }
+};
+
+struct Job {
+  std::string name;
+  std::vector<Task> tasks;
+  FileCatalog catalog;
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks.size(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const {
+    WCS_CHECK(id.valid() && id.value() < tasks.size());
+    return tasks[id.value()];
+  }
+
+  // Total bytes a task needs when nothing is cached.
+  [[nodiscard]] Bytes task_bytes(TaskId id) const {
+    Bytes total = 0;
+    for (FileId f : task(id).files) total += catalog.size(f);
+    return total;
+  }
+};
+
+// The paper's Table 2 characteristics, plus the data behind Figures 1/3.
+struct JobStats {
+  std::size_t num_tasks = 0;
+  std::size_t distinct_files = 0;  // files referenced by at least one task
+  std::size_t max_files_per_task = 0;
+  std::size_t min_files_per_task = 0;
+  double avg_files_per_task = 0;
+  // refs_cdf.fraction_at_least(k): fraction of referenced files that are
+  // accessed by >= k tasks (the y-axis of Figure 1/3 at x = k).
+  ReverseCdf refs_cdf;
+};
+
+[[nodiscard]] JobStats compute_stats(const Job& job);
+
+// Sanity checks every generator's output must pass: valid ids, no
+// duplicate files within a task, nonempty tasks, positive compute cost.
+void validate_job(const Job& job);
+
+}  // namespace wcs::workload

@@ -1,0 +1,78 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace wcs::workload {
+
+void save_job(const Job& job, std::ostream& out) {
+  out << "job " << (job.name.empty() ? "unnamed" : job.name) << '\n';
+  out << "files " << job.catalog.num_files() << '\n';
+  for (std::size_t i = 0; i < job.catalog.num_files(); ++i)
+    out << "filesize " << i << ' '
+        << job.catalog.size(FileId(static_cast<FileId::underlying_type>(i)))
+        << '\n';
+  for (const Task& t : job.tasks) {
+    out << "task " << t.id.value() << ' ' << t.mflop;
+    for (FileId f : t.files) out << ' ' << f.value();
+    out << '\n';
+  }
+}
+
+void save_job(const Job& job, const std::string& path) {
+  std::ofstream out(path);
+  WCS_CHECK_MSG(out.good(), "cannot open " << path);
+  save_job(job, out);
+}
+
+Job load_job(std::istream& in) {
+  Job job;
+  std::size_t declared_files = 0;
+  std::vector<Bytes> sizes;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "job") {
+      ls >> job.name;
+    } else if (kind == "files") {
+      ls >> declared_files;
+      sizes.assign(declared_files, 0);
+    } else if (kind == "filesize") {
+      std::size_t idx = 0;
+      Bytes size = 0;
+      ls >> idx >> size;
+      WCS_CHECK_MSG(idx < sizes.size(), "filesize index out of range");
+      sizes[idx] = size;
+    } else if (kind == "task") {
+      Task t;
+      TaskId::underlying_type id = 0;
+      ls >> id >> t.mflop;
+      t.id = TaskId(id);
+      FileId::underlying_type f = 0;
+      while (ls >> f) t.files.push_back(FileId(f));
+      WCS_CHECK_MSG(!ls.bad(), "malformed task line");
+      job.tasks.push_back(std::move(t));
+    } else {
+      WCS_CHECK_MSG(false, "unknown trace directive: " << kind);
+    }
+  }
+  for (Bytes b : sizes) {
+    WCS_CHECK_MSG(b > 0, "file with no declared size");
+    job.catalog.add_file(b);
+  }
+  validate_job(job);
+  return job;
+}
+
+Job load_job(const std::string& path) {
+  std::ifstream in(path);
+  WCS_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_job(in);
+}
+
+}  // namespace wcs::workload

@@ -1,0 +1,26 @@
+// Plain-text job trace serialization.
+//
+// Format (line-oriented, '#' comments allowed):
+//   job <name>
+//   files <count>
+//   filesize <file-index> <bytes>        (one per file, dense order)
+//   task <id> <mflop> <file> <file> ...  (one per task)
+//
+// Round-trips exactly; used to snapshot generated workloads so an
+// experiment can be re-run byte-identically without re-generating.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.h"
+
+namespace wcs::workload {
+
+void save_job(const Job& job, std::ostream& out);
+void save_job(const Job& job, const std::string& path);
+
+[[nodiscard]] Job load_job(std::istream& in);
+[[nodiscard]] Job load_job(const std::string& path);
+
+}  // namespace wcs::workload

@@ -1,0 +1,66 @@
+// Tests for the compute capacity model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compute/capacity.h"
+
+namespace wcs::compute {
+namespace {
+
+TEST(Top500, Has500DescendingEntries) {
+  const auto& t = top500_rmax_gflops();
+  ASSERT_EQ(t.size(), 500u);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GE(t[i - 1], t[i]);
+}
+
+TEST(Top500, EndpointsMatchJune2006Shape) {
+  const auto& t = top500_rmax_gflops();
+  EXPECT_NEAR(t.front(), 280600.0, 1.0);
+  EXPECT_NEAR(t.back(), 2737.0, 1.0);
+}
+
+TEST(Top500, AllPositive) {
+  for (double v : top500_rmax_gflops()) EXPECT_GT(v, 0.0);
+}
+
+TEST(SampleWorker, DividedBy100PerPaper) {
+  const auto& t = top500_rmax_gflops();
+  double max_mflops = t.front() * 1e3 / 100.0;
+  double min_mflops = t.back() * 1e3 / 100.0;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double m = sample_worker_mflops(rng);
+    EXPECT_GE(m, min_mflops - 1e-9);
+    EXPECT_LE(m, max_mflops + 1e-9);
+  }
+}
+
+TEST(SampleWorker, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(sample_worker_mflops(a), sample_worker_mflops(b));
+}
+
+TEST(SampleWorker, SpreadIsHeavyTailed) {
+  // Most machines sit near the bottom of the list; the sample max should
+  // dwarf the median.
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(sample_worker_mflops(rng));
+  std::sort(v.begin(), v.end());
+  EXPECT_GT(v.back() / v[v.size() / 2], 5.0);
+}
+
+TEST(Worker, ComputeTime) {
+  Worker w;
+  w.mflops = 500.0;
+  EXPECT_DOUBLE_EQ(w.compute_time_s(1000.0), 2.0);
+}
+
+TEST(Worker, ComputeTimeRequiresSpeed) {
+  Worker w;  // mflops == 0
+  EXPECT_THROW((void)w.compute_time_s(100.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wcs::compute

@@ -1,0 +1,93 @@
+// Whole-stack determinism: with every optional subsystem enabled at
+// once (replication + churn + timeline + estimate error + randomized
+// ChooseTask), two runs from the same seeds must be event-for-event
+// identical. This is the strongest regression net for the seed
+// discipline (DESIGN.md §5.8) — any ambient entropy or hash-order
+// dependence breaks it.
+#include <gtest/gtest.h>
+
+#include "grid/experiment.h"
+#include "grid/grid_simulation.h"
+#include "workload/coadd.h"
+
+namespace wcs::grid {
+namespace {
+
+GridConfig everything_on() {
+  GridConfig c;
+  c.tiers.num_sites = 4;
+  c.tiers.workers_per_site = 2;
+  c.capacity_files = 400;
+  c.record_timeline = true;
+  c.estimate_error = 2.0;
+  replication::DataReplicatorParams rp;
+  rp.popularity_threshold = 3;
+  rp.check_interval_s = 1000;
+  c.replication = rp;
+  GridConfig::ChurnParams churn;
+  churn.mean_uptime_s = 40000;
+  churn.mean_downtime_s = 8000;
+  c.churn = churn;
+  return c;
+}
+
+class FullStackDeterminism
+    : public ::testing::TestWithParam<sched::Algorithm> {};
+
+TEST_P(FullStackDeterminism, EventForEventIdentical) {
+  workload::CoaddParams cp;
+  cp.num_tasks = 120;
+  auto job = workload::generate_coadd(cp);
+  GridConfig c = everything_on();
+  sched::SchedulerSpec spec;
+  spec.algorithm = GetParam();
+  spec.choose_n = 2;
+
+  auto run = [&] {
+    GridSimulation sim(c, job, sched::make_scheduler(spec));
+    auto result = sim.run();
+    WCS_CHECK(sim.timeline() != nullptr);
+    return std::pair{result, sim.timeline()->events()};
+  };
+  auto [r1, e1] = run();
+  auto [r2, e2] = run();
+
+  EXPECT_DOUBLE_EQ(r1.makespan_s, r2.makespan_s);
+  EXPECT_EQ(r1.total_file_transfers(), r2.total_file_transfers());
+  EXPECT_EQ(r1.events_executed, r2.events_executed);
+  EXPECT_EQ(r1.worker_failures, r2.worker_failures);
+  EXPECT_EQ(r1.files_replicated, r2.files_replicated);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(e1[i].time, e2[i].time) << "event " << i;
+    EXPECT_EQ(e1[i].kind, e2[i].kind) << "event " << i;
+    EXPECT_EQ(e1[i].task, e2[i].task) << "event " << i;
+    EXPECT_EQ(e1[i].worker, e2[i].worker) << "event " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, FullStackDeterminism,
+                         ::testing::Values(sched::Algorithm::kWorkqueue,
+                                           sched::Algorithm::kStorageAffinity,
+                                           sched::Algorithm::kRest,
+                                           sched::Algorithm::kCombined,
+                                           sched::Algorithm::kXSufferage));
+
+TEST(CrossConfigIndependence, WorkloadUnaffectedByPlatformSeed) {
+  // The same CoaddParams must yield the identical job regardless of any
+  // platform configuration (no shared RNG state).
+  workload::CoaddParams cp;
+  cp.num_tasks = 100;
+  auto j1 = workload::generate_coadd(cp);
+  GridConfig c = everything_on();
+  sched::SchedulerSpec spec;
+  spec.algorithm = sched::Algorithm::kRest;
+  (void)run_once(c, j1, spec, 1);
+  auto j2 = workload::generate_coadd(cp);
+  ASSERT_EQ(j1.tasks.size(), j2.tasks.size());
+  for (std::size_t i = 0; i < j1.tasks.size(); ++i)
+    EXPECT_EQ(j1.tasks[i].files, j2.tasks[i].files);
+}
+
+}  // namespace
+}  // namespace wcs::grid

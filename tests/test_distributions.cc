@@ -1,0 +1,68 @@
+// Statistical shape tests for the Rng distribution helpers the
+// simulation depends on (churn inter-arrival times, worker-speed
+// sampling, workload jitter).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace wcs {
+namespace {
+
+TEST(Distributions, NormalMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Distributions, ExponentialMoments) {
+  Rng rng(6);
+  RunningStats s;
+  const double rate = 1.0 / 500.0;  // mean 500 (a churn-like scale)
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(rate));
+  EXPECT_NEAR(s.mean(), 500.0, 15.0);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), 500.0, 25.0);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Distributions, ExponentialMemorylessTail) {
+  // P(X > 2m) ~ e^-2 ~ 0.135 for mean m.
+  Rng rng(7);
+  int over = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.exponential(1.0 / 100.0) > 200.0) ++over;
+  EXPECT_NEAR(static_cast<double>(over) / kDraws, std::exp(-2.0), 0.01);
+}
+
+TEST(Distributions, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.015);
+}
+
+TEST(Distributions, UniformRealMoments) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform_real(2.0, 6.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.05);
+  // Var of U(a,b) = (b-a)^2/12.
+  EXPECT_NEAR(s.variance(), 16.0 / 12.0, 0.05);
+}
+
+TEST(Distributions, IndexIsUniform) {
+  Rng rng(10);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 16000; ++i) ++counts[rng.index(8)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 200);
+}
+
+}  // namespace
+}  // namespace wcs

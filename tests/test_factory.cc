@@ -1,0 +1,108 @@
+// Tests for the scheduler spec/factory layer: naming parity, dispatch,
+// parameter plumbing.
+#include <gtest/gtest.h>
+
+#include "fake_engine.h"
+#include "sched/factory.h"
+
+namespace wcs::sched {
+namespace {
+
+using testing::FakeEngine;
+using testing::make_job;
+
+TEST(SpecName, AllAlgorithms) {
+  SchedulerSpec s;
+  s.algorithm = Algorithm::kWorkqueue;
+  EXPECT_EQ(s.name(), "workqueue");
+  s.algorithm = Algorithm::kStorageAffinity;
+  EXPECT_EQ(s.name(), "storage-affinity");
+  s.algorithm = Algorithm::kOverlap;
+  EXPECT_EQ(s.name(), "overlap");
+  s.algorithm = Algorithm::kRest;
+  EXPECT_EQ(s.name(), "rest");
+  s.algorithm = Algorithm::kCombined;
+  EXPECT_EQ(s.name(), "combined");
+}
+
+TEST(SpecName, ModifiersCompose) {
+  SchedulerSpec s;
+  s.algorithm = Algorithm::kCombined;
+  s.choose_n = 3;
+  s.combined_formula = CombinedFormula::kVerbatim;
+  s.task_replication = true;
+  EXPECT_EQ(s.name(), "combined~verbatim.3+repl");
+}
+
+TEST(SpecName, MatchesConstructedSchedulerName) {
+  for (const SchedulerSpec& s : SchedulerSpec::paper_algorithms())
+    EXPECT_EQ(s.name(), make_scheduler(s)->name());
+  SchedulerSpec wq;
+  wq.algorithm = Algorithm::kWorkqueue;
+  EXPECT_EQ(wq.name(), make_scheduler(wq)->name());
+}
+
+TEST(Factory, DispatchesToCorrectTypes) {
+  SchedulerSpec s;
+  s.algorithm = Algorithm::kWorkqueue;
+  EXPECT_NE(dynamic_cast<WorkqueueScheduler*>(make_scheduler(s).get()),
+            nullptr);
+  s.algorithm = Algorithm::kStorageAffinity;
+  EXPECT_NE(dynamic_cast<StorageAffinityScheduler*>(make_scheduler(s).get()),
+            nullptr);
+  for (Algorithm a :
+       {Algorithm::kOverlap, Algorithm::kRest, Algorithm::kCombined}) {
+    s.algorithm = a;
+    EXPECT_NE(dynamic_cast<WorkerCentricScheduler*>(make_scheduler(s).get()),
+              nullptr);
+  }
+}
+
+TEST(Factory, SeedReachesRandomizedChooser) {
+  // Two different seeds must be able to produce different first picks on
+  // an all-tie workload (uniform sampling among best-2).
+  auto job = make_job({{0}, {1}}, 2);
+  std::set<unsigned> picks;
+  for (std::uint64_t seed = 0; seed < 16 && picks.size() < 2; ++seed) {
+    SchedulerSpec s;
+    s.algorithm = Algorithm::kOverlap;
+    s.choose_n = 2;
+    s.seed = seed;
+    auto sched = make_scheduler(s);
+    FakeEngine eng(job, 1, 1);
+    sched->attach(eng);
+    sched->on_job_submitted();
+    sched->on_worker_idle(WorkerId(0));
+    picks.insert(eng.assignments[0].first.value());
+  }
+  EXPECT_EQ(picks.size(), 2u);
+}
+
+TEST(Factory, MaxReplicasReachesBothFamilies) {
+  auto job = make_job({{0}}, 1);
+  // Worker-centric replicating variant honours max_replicas.
+  SchedulerSpec s;
+  s.algorithm = Algorithm::kRest;
+  s.task_replication = true;
+  s.max_replicas = 1;  // replicas disabled in effect
+  auto sched = make_scheduler(s);
+  FakeEngine eng(job, 2, 1);
+  sched->attach(eng);
+  sched->on_job_submitted();
+  sched->on_worker_idle(WorkerId(0));
+  sched->on_worker_idle(WorkerId(1));  // would replicate, but cap is 1
+  EXPECT_EQ(eng.assignments.size(), 1u);
+}
+
+TEST(Factory, PaperAlgorithmsAreSixInPaperOrder) {
+  auto specs = SchedulerSpec::paper_algorithms();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].algorithm, Algorithm::kStorageAffinity);
+  EXPECT_EQ(specs[1].algorithm, Algorithm::kOverlap);
+  EXPECT_EQ(specs[4].choose_n, 2);
+  EXPECT_EQ(specs[5].algorithm, Algorithm::kCombined);
+  EXPECT_EQ(specs[5].choose_n, 2);
+}
+
+}  // namespace
+}  // namespace wcs::sched

@@ -1,0 +1,214 @@
+// Scheduler-level failure-handling unit tests (driven through the fake
+// engine, no simulation): re-homing of orphaned tasks, starving-worker
+// feeds, index consistency after re-adds.
+#include <gtest/gtest.h>
+
+#include "fake_engine.h"
+#include "sched/storage_affinity.h"
+#include "sched/worker_centric.h"
+#include "sched/workqueue.h"
+
+namespace wcs::sched {
+namespace {
+
+using testing::FakeEngine;
+using testing::make_job;
+
+WorkerCentricScheduler make_wc(Metric m = Metric::kRest) {
+  WorkerCentricParams p;
+  p.metric = m;
+  return WorkerCentricScheduler(p);
+}
+
+TEST(WcFailover, LostTaskReturnsToPending) {
+  auto job = make_job({{0}, {1}, {2}}, 3);
+  FakeEngine eng(job, 1, 2);
+  auto wc = make_wc();
+  wc.attach(eng);
+  wc.on_job_submitted();
+  wc.on_worker_idle(WorkerId(0));
+  TaskId assigned = eng.assignments[0].first;
+  EXPECT_EQ(wc.pending_count(), 2u);
+
+  eng.dead_workers.insert(WorkerId(0));
+  wc.on_worker_failed(WorkerId(0), {assigned});
+  EXPECT_EQ(wc.pending_count(), 3u);
+  EXPECT_TRUE(wc.is_pending(assigned));
+}
+
+TEST(WcFailover, ReAddedTaskHasFreshIndexCounters) {
+  auto job = make_job({{0, 1}, {2}}, 3);
+  FakeEngine eng(job, 1, 2);
+  auto wc = make_wc(Metric::kOverlap);
+  wc.attach(eng);
+  wc.on_job_submitted();
+  wc.on_worker_idle(WorkerId(0));  // cold: assigns t0 (lowest id)
+  ASSERT_EQ(eng.assignments[0].first, TaskId(0));
+
+  // Cache mutates WHILE the task is off the index.
+  eng.add_file(SiteId(0), FileId(0));
+  eng.add_file(SiteId(0), FileId(1));
+
+  eng.dead_workers.insert(WorkerId(0));
+  wc.on_worker_failed(WorkerId(0), {TaskId(0)});
+  // Rebuilt against live cache: overlap must be 2, and match the naive
+  // recomputation.
+  EXPECT_EQ(wc.overlap_cardinality(SiteId(0), TaskId(0)), 2u);
+  EXPECT_DOUBLE_EQ(wc.weight(SiteId(0), TaskId(0)),
+                   wc.naive_weight(SiteId(0), TaskId(0)));
+  // And future cache events keep tracking it.
+  eng.cache(SiteId(0)).record_access(FileId(0));
+  EXPECT_DOUBLE_EQ(wc.weight(SiteId(0), TaskId(0)),
+                   wc.naive_weight(SiteId(0), TaskId(0)));
+}
+
+TEST(WcFailover, StarvingWorkerIsFedAfterRefill) {
+  auto job = make_job({{0}}, 1);
+  FakeEngine eng(job, 1, 2);
+  auto wc = make_wc();
+  wc.attach(eng);
+  wc.on_job_submitted();
+  wc.on_worker_idle(WorkerId(0));           // takes the only task
+  wc.on_worker_idle(WorkerId(1));           // starves
+  EXPECT_EQ(eng.assignments.size(), 1u);
+
+  eng.dead_workers.insert(WorkerId(0));
+  wc.on_worker_failed(WorkerId(0), {TaskId(0)});
+  // The starving worker 1 receives the re-homed task immediately.
+  ASSERT_EQ(eng.assignments.size(), 2u);
+  EXPECT_EQ(eng.assignments[1].first, TaskId(0));
+  EXPECT_EQ(eng.assignments[1].second, WorkerId(1));
+  EXPECT_EQ(wc.pending_count(), 0u);
+}
+
+TEST(WcFailover, DeadStarvingWorkerIsSkipped) {
+  auto job = make_job({{0}}, 1);
+  FakeEngine eng(job, 1, 3);
+  auto wc = make_wc();
+  wc.attach(eng);
+  wc.on_job_submitted();
+  wc.on_worker_idle(WorkerId(0));
+  wc.on_worker_idle(WorkerId(1));  // starves first
+  wc.on_worker_idle(WorkerId(2));  // starves second
+  eng.dead_workers.insert(WorkerId(1));  // ...then dies too
+  eng.dead_workers.insert(WorkerId(0));
+  wc.on_worker_failed(WorkerId(1), {});
+  wc.on_worker_failed(WorkerId(0), {TaskId(0)});
+  ASSERT_EQ(eng.assignments.size(), 2u);
+  EXPECT_EQ(eng.assignments[1].second, WorkerId(2));
+}
+
+TEST(WcFailover, CompletedTaskNotReAdded) {
+  auto job = make_job({{0}, {1}}, 2);
+  FakeEngine eng(job, 1, 2);
+  WorkerCentricParams p;
+  p.metric = Metric::kRest;
+  p.replicate_when_idle = true;
+  WorkerCentricScheduler wc(p);
+  wc.attach(eng);
+  wc.on_job_submitted();
+  wc.on_worker_idle(WorkerId(0));  // t0 -> w0
+  wc.on_worker_idle(WorkerId(1));  // t1 -> w1
+  // w1 finishes t1, then replicates t0 (bag empty).
+  wc.on_task_completed(TaskId(1), WorkerId(1));
+  wc.on_worker_idle(WorkerId(1));
+  ASSERT_EQ(eng.assignments.size(), 3u);
+  EXPECT_EQ(eng.assignments[2].first, TaskId(0));
+  // w0 finishes t0 -> replica on w1 cancelled.
+  wc.on_task_completed(TaskId(0), WorkerId(0));
+  ASSERT_EQ(eng.cancellations.size(), 1u);
+  // w1's crash now reports the cancelled replica as "lost" — must NOT be
+  // re-added (it is complete).
+  eng.dead_workers.insert(WorkerId(1));
+  wc.on_worker_failed(WorkerId(1), {});
+  EXPECT_EQ(wc.pending_count(), 0u);
+}
+
+// --- Storage affinity ------------------------------------------------------
+
+TEST(SaFailover, OrphanReassignedToLeastBacklogged) {
+  auto job = make_job({{0}, {1}}, 2);
+  FakeEngine eng(job, 2, 1);
+  StorageAffinityParams p;
+  StorageAffinityScheduler sa(p);
+  sa.attach(eng);
+  sa.on_job_submitted();
+  // t0 on w0, t1 on w1 (cold-start balancing).
+  eng.assignments.clear();
+  eng.dead_workers.insert(WorkerId(0));
+  eng.backlogs[WorkerId(1)] = 5;
+  sa.on_worker_failed(WorkerId(0), {TaskId(0)});
+  ASSERT_EQ(eng.assignments.size(), 1u);
+  EXPECT_EQ(eng.assignments[0].first, TaskId(0));
+  EXPECT_EQ(eng.assignments[0].second, WorkerId(1));
+  EXPECT_EQ(sa.placements(TaskId(0)).size(), 1u);
+}
+
+TEST(SaFailover, ReplicatedTaskSurvivesWithoutReassignment) {
+  auto job = make_job({{0}}, 1);
+  FakeEngine eng(job, 2, 1);
+  StorageAffinityScheduler sa{StorageAffinityParams{}};
+  sa.attach(eng);
+  sa.on_job_submitted();          // t0 -> w0
+  sa.on_worker_idle(WorkerId(1));  // replica on w1
+  eng.assignments.clear();
+  eng.dead_workers.insert(WorkerId(0));
+  sa.on_worker_failed(WorkerId(0), {TaskId(0)});
+  // One live instance remains: no reassignment needed.
+  EXPECT_TRUE(eng.assignments.empty());
+  EXPECT_EQ(sa.placements(TaskId(0)).size(), 1u);
+}
+
+TEST(SaFailover, TotalOutageOrphanPickedUpOnNextIdle) {
+  auto job = make_job({{0}}, 1);
+  FakeEngine eng(job, 1, 1);
+  StorageAffinityScheduler sa{StorageAffinityParams{}};
+  sa.attach(eng);
+  sa.on_job_submitted();
+  eng.assignments.clear();
+  eng.dead_workers.insert(WorkerId(0));
+  sa.on_worker_failed(WorkerId(0), {TaskId(0)});  // nowhere to go
+  EXPECT_TRUE(eng.assignments.empty());
+  // Worker recovers and asks: orphan pickup path fires.
+  eng.dead_workers.clear();
+  sa.on_worker_idle(WorkerId(0));
+  ASSERT_EQ(eng.assignments.size(), 1u);
+  EXPECT_EQ(eng.assignments[0].first, TaskId(0));
+}
+
+// --- Workqueue --------------------------------------------------------------
+
+TEST(WqFailover, LostTasksRejoinHeadInOrder) {
+  auto job = make_job({{0}, {1}, {2}}, 3);
+  FakeEngine eng(job, 1, 2);
+  WorkqueueScheduler wq;
+  wq.attach(eng);
+  wq.on_job_submitted();
+  wq.on_worker_idle(WorkerId(0));  // t0
+  wq.on_worker_idle(WorkerId(1));  // t1
+  eng.assignments.clear();
+  eng.dead_workers.insert(WorkerId(0));
+  wq.on_worker_failed(WorkerId(0), {TaskId(0)});
+  EXPECT_EQ(wq.pending_count(), 2u);
+  eng.dead_workers.clear();
+  wq.on_worker_idle(WorkerId(0));
+  ASSERT_EQ(eng.assignments.size(), 1u);
+  EXPECT_EQ(eng.assignments[0].first, TaskId(0));  // head again
+}
+
+TEST(WqFailover, StarvingWorkerFedOnRefill) {
+  auto job = make_job({{0}}, 1);
+  FakeEngine eng(job, 1, 2);
+  WorkqueueScheduler wq;
+  wq.attach(eng);
+  wq.on_job_submitted();
+  wq.on_worker_idle(WorkerId(0));
+  wq.on_worker_idle(WorkerId(1));  // starves
+  eng.dead_workers.insert(WorkerId(0));
+  wq.on_worker_failed(WorkerId(0), {TaskId(0)});
+  ASSERT_EQ(eng.assignments.size(), 2u);
+  EXPECT_EQ(eng.assignments[1].second, WorkerId(1));
+}
+
+}  // namespace
+}  // namespace wcs::sched

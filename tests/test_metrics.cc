@@ -1,0 +1,92 @@
+// Unit tests for metrics::RunResult helpers and cross-run averaging.
+#include <gtest/gtest.h>
+
+#include "metrics/results.h"
+
+namespace wcs::metrics {
+namespace {
+
+RunResult sample_run(double makespan_s, std::uint64_t transfers_per_site,
+                     std::size_t sites = 2) {
+  RunResult r;
+  r.scheduler = "rest";
+  r.makespan_s = makespan_s;
+  r.tasks_completed = 10;
+  for (std::size_t s = 0; s < sites; ++s) {
+    SiteResult site;
+    site.file_transfers = transfers_per_site;
+    site.bytes_transferred = static_cast<double>(transfers_per_site) * 25e6;
+    site.waiting_s = 3600;
+    site.transfer_s = 7200;
+    site.batches_served = 5;
+    site.cache_hits = 100;
+    site.evictions = 7;
+    r.sites.push_back(site);
+  }
+  return r;
+}
+
+TEST(RunResult, MakespanConversion) {
+  RunResult r = sample_run(1200, 10);
+  EXPECT_DOUBLE_EQ(r.makespan_minutes(), 20.0);
+}
+
+TEST(RunResult, TransferAggregation) {
+  RunResult r = sample_run(60, 100, 4);
+  EXPECT_EQ(r.total_file_transfers(), 400u);
+  EXPECT_DOUBLE_EQ(r.transfers_per_site(), 100.0);
+  EXPECT_DOUBLE_EQ(r.total_bytes_transferred(), 400 * 25e6);
+}
+
+TEST(RunResult, WaitingAndTransferHours) {
+  RunResult r = sample_run(60, 10, 3);
+  EXPECT_DOUBLE_EQ(r.total_waiting_s(), 3 * 3600.0);
+  EXPECT_DOUBLE_EQ(r.waiting_hours_per_site(), 1.0);
+  EXPECT_DOUBLE_EQ(r.transfer_hours_per_site(), 2.0);
+}
+
+TEST(RunResult, HitAndEvictionTotals) {
+  RunResult r = sample_run(60, 10, 3);
+  EXPECT_EQ(r.total_cache_hits(), 300u);
+  EXPECT_EQ(r.total_evictions(), 21u);
+}
+
+TEST(Average, MeansAndExtremes) {
+  std::vector<RunResult> runs{sample_run(600, 10), sample_run(1200, 20),
+                              sample_run(1800, 30)};
+  AveragedResult avg = average(runs);
+  EXPECT_EQ(avg.runs, 3u);
+  EXPECT_DOUBLE_EQ(avg.makespan_minutes, 20.0);
+  EXPECT_DOUBLE_EQ(avg.makespan_minutes_min, 10.0);
+  EXPECT_DOUBLE_EQ(avg.makespan_minutes_max, 30.0);
+  EXPECT_DOUBLE_EQ(avg.transfers_per_site, 20.0);
+  EXPECT_DOUBLE_EQ(avg.total_file_transfers, 40.0);
+  EXPECT_EQ(avg.scheduler, "rest");
+}
+
+TEST(Average, SingleRunIsIdentity) {
+  std::vector<RunResult> runs{sample_run(600, 10)};
+  AveragedResult avg = average(runs);
+  EXPECT_DOUBLE_EQ(avg.makespan_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(avg.makespan_minutes_min, avg.makespan_minutes_max);
+}
+
+TEST(Average, EmptyThrows) {
+  std::vector<RunResult> runs;
+  EXPECT_THROW((void)average(runs), std::logic_error);
+}
+
+TEST(Average, MixedSchedulersRejected) {
+  std::vector<RunResult> runs{sample_run(600, 10), sample_run(1200, 20)};
+  runs[1].scheduler = "overlap";
+  EXPECT_THROW((void)average(runs), std::logic_error);
+}
+
+TEST(RunResult, EmptySitesThrowOnPerSiteMetrics) {
+  RunResult r;
+  EXPECT_THROW((void)r.transfers_per_site(), std::logic_error);
+  EXPECT_THROW((void)r.waiting_hours_per_site(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wcs::metrics

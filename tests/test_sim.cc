@@ -1,0 +1,192 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace wcs::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_in(3.0, [&] { order.push_back(3); });
+  s.schedule_in(1.0, [&] { order.push_back(1); });
+  s.schedule_in(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_in(5.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  double seen = -1;
+  s.schedule_in(2.5, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(Simulator, SchedulingInsideCallbacks) {
+  Simulator s;
+  std::vector<double> times;
+  s.schedule_in(1.0, [&] {
+    times.push_back(s.now());
+    s.schedule_in(1.0, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator s;
+  bool inner = false;
+  s.schedule_in(1.0, [&] {
+    s.schedule_in(0.0, [&] {
+      inner = true;
+      EXPECT_DOUBLE_EQ(s.now(), 1.0);
+    });
+  });
+  s.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator s;
+  s.schedule_in(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  EventId id = s.schedule_in(1.0, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator s;
+  EventId id = s.schedule_in(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator s;
+  EventId id = s.schedule_in(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdReturnsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventId::invalid()));
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClock) {
+  Simulator s;
+  EventId id = s.schedule_in(10.0, [] {});
+  s.schedule_in(1.0, [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(Simulator, CancelFromInsideCallback) {
+  Simulator s;
+  bool ran = false;
+  EventId victim = s.schedule_in(2.0, [&] { ran = true; });
+  s.schedule_in(1.0, [&] { EXPECT_TRUE(s.cancel(victim)); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_in(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    s.schedule_in(t, [&times, &s] { times.push_back(s.now()); });
+  s.run_until(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+  s.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesDeadlineEvents) {
+  Simulator s;
+  int count = 0;
+  s.schedule_in(2.0, [&] { ++count; });
+  s.run_until(2.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, EmptyReflectsLiveEvents) {
+  Simulator s;
+  EventId id = s.schedule_in(1.0, [] {});
+  EXPECT_FALSE(s.empty());
+  s.cancel(id);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, ExecutedEventsCountsOnlyFired) {
+  Simulator s;
+  s.schedule_in(1.0, [] {});
+  EventId id = s.schedule_in(2.0, [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  double last = -1;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double t = (i * 7919) % 1000;  // scrambled insertion order
+    s.schedule_in(t, [&, t] {
+      EXPECT_LE(last, s.now());
+      EXPECT_DOUBLE_EQ(s.now(), t);
+      last = s.now();
+      ++count;
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace wcs::sim

@@ -1,0 +1,211 @@
+// Unit + property tests for net::Topology and the Tiers generator.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "net/tiers.h"
+#include "net/topology.h"
+
+namespace wcs::net {
+namespace {
+
+Topology line3(double bw = mbps(8), double lat = 0.01) {
+  // a --l0-- b --l1-- c
+  Topology t;
+  NodeId a = t.add_node("a");
+  NodeId b = t.add_node("b");
+  NodeId c = t.add_node("c");
+  t.add_link(a, b, bw, lat);
+  t.add_link(b, c, bw, lat);
+  return t;
+}
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t = line3();
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.node(NodeId(0)).name, "a");
+  EXPECT_EQ(t.link(LinkId(1)).a, NodeId(1));
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology t;
+  NodeId a = t.add_node("a");
+  EXPECT_THROW(t.add_link(a, a, 1, 0), std::logic_error);
+}
+
+TEST(Topology, NonPositiveBandwidthRejected) {
+  Topology t;
+  NodeId a = t.add_node("a");
+  NodeId b = t.add_node("b");
+  EXPECT_THROW(t.add_link(a, b, 0, 0), std::logic_error);
+}
+
+TEST(Topology, RouteOnLine) {
+  Topology t = line3();
+  const Route& r = t.route(NodeId(0), NodeId(2));
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], LinkId(0));
+  EXPECT_EQ(r[1], LinkId(1));
+}
+
+TEST(Topology, RouteToSelfIsEmpty) {
+  Topology t = line3();
+  EXPECT_TRUE(t.route(NodeId(1), NodeId(1)).empty());
+  EXPECT_DOUBLE_EQ(t.path_latency(NodeId(1), NodeId(1)), 0.0);
+}
+
+TEST(Topology, RouteIsSymmetricInLinkSet) {
+  Topology t = line3();
+  Route fwd = t.route(NodeId(0), NodeId(2));
+  Route rev = t.route(NodeId(2), NodeId(0));
+  ASSERT_EQ(fwd.size(), rev.size());
+  EXPECT_EQ(fwd[0], rev[1]);
+  EXPECT_EQ(fwd[1], rev[0]);
+}
+
+TEST(Topology, PathLatencySumsLinks) {
+  Topology t = line3(mbps(8), 0.01);
+  EXPECT_DOUBLE_EQ(t.path_latency(NodeId(0), NodeId(2)), 0.02);
+}
+
+TEST(Topology, PathBandwidthIsBottleneck) {
+  Topology t;
+  NodeId a = t.add_node("a");
+  NodeId b = t.add_node("b");
+  NodeId c = t.add_node("c");
+  t.add_link(a, b, 100, 0.01);
+  t.add_link(b, c, 10, 0.01);
+  EXPECT_DOUBLE_EQ(t.path_bandwidth(a, c), 10.0);
+}
+
+TEST(Topology, PicksLowerLatencyPath) {
+  // square: a-b-d (fast) vs a-c-d (slow)
+  Topology t;
+  NodeId a = t.add_node("a");
+  NodeId b = t.add_node("b");
+  NodeId c = t.add_node("c");
+  NodeId d = t.add_node("d");
+  t.add_link(a, b, 1e6, 0.001);
+  t.add_link(b, d, 1e6, 0.001);
+  t.add_link(a, c, 1e6, 0.1);
+  t.add_link(c, d, 1e6, 0.1);
+  EXPECT_DOUBLE_EQ(t.path_latency(a, d), 0.002);
+}
+
+TEST(Topology, UnreachableThrows) {
+  Topology t;
+  NodeId a = t.add_node("a");
+  NodeId b = t.add_node("b");
+  (void)b;
+  Topology t2 = std::move(t);  // silence unused warnings simply
+  EXPECT_THROW(t2.route(a, NodeId(1)), std::logic_error);
+  EXPECT_FALSE(t2.connected());
+}
+
+TEST(Topology, ConnectedOnLine) { EXPECT_TRUE(line3().connected()); }
+
+// --- Tiers generator ----------------------------------------------------
+
+TEST(Tiers, DefaultShape) {
+  TiersParams p;  // 10 sites, 1 worker/site
+  GridTopology g = build_tiers_topology(p);
+  EXPECT_EQ(g.data_server_nodes.size(), 10u);
+  EXPECT_EQ(g.worker_nodes.size(), 10u);
+  for (const auto& site : g.worker_nodes) EXPECT_EQ(site.size(), 1u);
+  EXPECT_EQ(g.site_uplinks.size(), 10u);
+  EXPECT_TRUE(g.topology.connected());
+}
+
+TEST(Tiers, WorkerCountHonored) {
+  TiersParams p;
+  p.num_sites = 4;
+  p.workers_per_site = 7;
+  GridTopology g = build_tiers_topology(p);
+  EXPECT_EQ(g.worker_nodes.size(), 4u);
+  for (const auto& site : g.worker_nodes) EXPECT_EQ(site.size(), 7u);
+}
+
+TEST(Tiers, SiteHostsShareTheUplink) {
+  TiersParams p;
+  p.num_sites = 3;
+  p.workers_per_site = 2;
+  GridTopology g = build_tiers_topology(p);
+  for (std::size_t s = 0; s < 3; ++s) {
+    LinkId uplink = g.site_uplinks[s];
+    auto crosses_uplink = [&](NodeId from) {
+      const Route& r = g.topology.route(from, g.file_server_node);
+      return std::find(r.begin(), r.end(), uplink) != r.end();
+    };
+    EXPECT_TRUE(crosses_uplink(g.data_server_nodes[s]));
+    for (NodeId w : g.worker_nodes[s]) EXPECT_TRUE(crosses_uplink(w));
+  }
+}
+
+TEST(Tiers, DifferentSitesUseDifferentUplinks) {
+  TiersParams p;
+  p.num_sites = 3;
+  GridTopology g = build_tiers_topology(p);
+  const Route& r0 =
+      g.topology.route(g.data_server_nodes[0], g.file_server_node);
+  EXPECT_EQ(std::find(r0.begin(), r0.end(), g.site_uplinks[1]), r0.end());
+}
+
+TEST(Tiers, SeedChangesLinkParameters) {
+  TiersParams a, b;
+  a.seed = 1;
+  b.seed = 2;
+  GridTopology ga = build_tiers_topology(a);
+  GridTopology gb = build_tiers_topology(b);
+  double bwa = ga.topology.link(ga.site_uplinks[0]).bandwidth_bps;
+  double bwb = gb.topology.link(gb.site_uplinks[0]).bandwidth_bps;
+  EXPECT_NE(bwa, bwb);
+}
+
+TEST(Tiers, SameSeedIsDeterministic) {
+  TiersParams p;
+  p.seed = 9;
+  GridTopology a = build_tiers_topology(p);
+  GridTopology b = build_tiers_topology(p);
+  ASSERT_EQ(a.topology.num_links(), b.topology.num_links());
+  for (std::size_t l = 0; l < a.topology.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(a.topology.link(LinkId(l)).bandwidth_bps,
+                     b.topology.link(LinkId(l)).bandwidth_bps);
+    EXPECT_DOUBLE_EQ(a.topology.link(LinkId(l)).latency_s,
+                     b.topology.link(LinkId(l)).latency_s);
+  }
+}
+
+TEST(Tiers, JitterStaysWithinBounds) {
+  TiersParams p;
+  p.jitter = 0.25;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    p.seed = seed;
+    GridTopology g = build_tiers_topology(p);
+    for (LinkId uplink : g.site_uplinks) {
+      double bw = g.topology.link(uplink).bandwidth_bps;
+      EXPECT_GE(bw, p.uplink_bandwidth_bps * 0.75 - 1);
+      EXPECT_LE(bw, p.uplink_bandwidth_bps * 1.25 + 1);
+    }
+  }
+}
+
+class TiersConnectivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiersConnectivity, AllSitesReachCoreHosts) {
+  TiersParams p;
+  p.num_sites = GetParam();
+  p.workers_per_site = 2;
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  GridTopology g = build_tiers_topology(p);
+  EXPECT_TRUE(g.topology.connected());
+  for (NodeId ds : g.data_server_nodes) {
+    EXPECT_FALSE(g.topology.route(ds, g.file_server_node).empty());
+    EXPECT_GT(g.topology.path_latency(ds, g.scheduler_node), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, TiersConnectivity,
+                         ::testing::Values(1, 2, 4, 10, 16, 26, 90));
+
+}  // namespace
+}  // namespace wcs::net

@@ -1,0 +1,78 @@
+// File-path-based trace I/O (the stream variants are covered in
+// test_workload) plus error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "workload/coadd.h"
+#include "workload/trace.h"
+
+namespace wcs::workload {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wcs_trace_test_" + std::to_string(::getpid()) + ".trace");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceFileTest, RoundTripThroughDisk) {
+  CoaddParams p;
+  p.num_tasks = 50;
+  Job a = generate_coadd(p);
+  save_job(a, path_.string());
+  Job b = load_job(path_.string());
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i)
+    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
+}
+
+TEST_F(TraceFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_job((path_ / "nope").string()), std::logic_error);
+}
+
+TEST_F(TraceFileTest, SaveToBadPathThrows) {
+  EXPECT_THROW(save_job(Job{}, "/nonexistent-dir-xyz/file.trace"),
+               std::logic_error);
+}
+
+TEST_F(TraceFileTest, RejectsTaskWithUndeclaredFile) {
+  {
+    std::ofstream out(path_);
+    out << "job bad\nfiles 1\nfilesize 0 100\ntask 0 1.0 0 5\n";
+  }
+  EXPECT_THROW((void)load_job(path_.string()), std::logic_error);
+}
+
+TEST_F(TraceFileTest, RejectsZeroSizeFile) {
+  {
+    std::ofstream out(path_);
+    out << "job bad\nfiles 1\ntask 0 1.0 0\n";  // filesize line missing
+  }
+  EXPECT_THROW((void)load_job(path_.string()), std::logic_error);
+}
+
+TEST_F(TraceFileTest, LargeJobRoundTripsExactly) {
+  CoaddParams p;
+  p.num_tasks = 500;
+  Job a = generate_coadd(p);
+  save_job(a, path_.string());
+  Job b = load_job(path_.string());
+  JobStats sa = compute_stats(a);
+  JobStats sb = compute_stats(b);
+  EXPECT_EQ(sa.distinct_files, sb.distinct_files);
+  EXPECT_DOUBLE_EQ(sa.avg_files_per_task, sb.avg_files_per_task);
+  EXPECT_EQ(a.catalog.total_bytes(), b.catalog.total_bytes());
+}
+
+}  // namespace
+}  // namespace wcs::workload

@@ -1,0 +1,329 @@
+// Tests for the workload model, the Coadd generator (paper Table 2 /
+// Figure 3 calibration targets), the generic generators, and trace I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "workload/coadd.h"
+#include "workload/generators.h"
+#include "workload/job.h"
+#include "workload/trace.h"
+
+namespace wcs::workload {
+namespace {
+
+// --- FileCatalog / Job basics --------------------------------------------
+
+TEST(FileCatalog, UniformSizes) {
+  FileCatalog c(10, megabytes(25));
+  EXPECT_EQ(c.num_files(), 10u);
+  EXPECT_EQ(c.size(FileId(3)), megabytes(25));
+  EXPECT_EQ(c.total_bytes(), 10u * megabytes(25));
+}
+
+TEST(FileCatalog, AddFile) {
+  FileCatalog c;
+  FileId f = c.add_file(123);
+  EXPECT_EQ(f.value(), 0u);
+  EXPECT_EQ(c.size(f), 123u);
+}
+
+TEST(FileCatalog, OutOfRangeThrows) {
+  FileCatalog c(2, 1);
+  EXPECT_THROW((void)c.size(FileId(5)), std::logic_error);
+}
+
+TEST(Job, TaskBytes) {
+  Job job;
+  job.catalog = FileCatalog(3, megabytes(5));
+  Task t;
+  t.id = TaskId(0);
+  t.files = {FileId(0), FileId(2)};
+  t.mflop = 1;
+  job.tasks.push_back(t);
+  EXPECT_EQ(job.task_bytes(TaskId(0)), 2 * megabytes(5));
+}
+
+TEST(ValidateJob, RejectsDuplicateFiles) {
+  Job job;
+  job.catalog = FileCatalog(3, 1);
+  Task t;
+  t.id = TaskId(0);
+  t.files = {FileId(1), FileId(1)};
+  t.mflop = 1;
+  job.tasks.push_back(t);
+  EXPECT_THROW(validate_job(job), std::logic_error);
+}
+
+TEST(ValidateJob, RejectsUnknownFile) {
+  Job job;
+  job.catalog = FileCatalog(1, 1);
+  Task t;
+  t.id = TaskId(0);
+  t.files = {FileId(7)};
+  t.mflop = 1;
+  job.tasks.push_back(t);
+  EXPECT_THROW(validate_job(job), std::logic_error);
+}
+
+TEST(ValidateJob, RejectsNonDenseIds) {
+  Job job;
+  job.catalog = FileCatalog(1, 1);
+  Task t;
+  t.id = TaskId(5);
+  t.files = {FileId(0)};
+  t.mflop = 1;
+  job.tasks.push_back(t);
+  EXPECT_THROW(validate_job(job), std::logic_error);
+}
+
+TEST(ComputeStats, SmallHandCase) {
+  Job job;
+  job.catalog = FileCatalog(4, 1);
+  auto add = [&](unsigned id, std::initializer_list<unsigned> files) {
+    Task t;
+    t.id = TaskId(id);
+    for (unsigned f : files) t.files.push_back(FileId(f));
+    t.mflop = 1;
+    job.tasks.push_back(std::move(t));
+  };
+  add(0, {0, 1});
+  add(1, {1, 2, 3});
+  add(2, {1});
+  JobStats s = compute_stats(job);
+  EXPECT_EQ(s.num_tasks, 3u);
+  EXPECT_EQ(s.distinct_files, 4u);
+  EXPECT_EQ(s.max_files_per_task, 3u);
+  EXPECT_EQ(s.min_files_per_task, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_files_per_task, 2.0);
+  // file 1 has 3 refs; files 0,2,3 have 1.
+  EXPECT_DOUBLE_EQ(s.refs_cdf.fraction_at_least(3), 0.25);
+  EXPECT_DOUBLE_EQ(s.refs_cdf.fraction_at_least(1), 1.0);
+}
+
+// --- Coadd generator: Table 2 calibration --------------------------------
+
+class CoaddPaperScale : public ::testing::Test {
+ protected:
+  static const Job& job() {
+    static const Job j = generate_coadd(CoaddParams::paper_6000());
+    return j;
+  }
+  static const JobStats& stats() {
+    static const JobStats s = compute_stats(job());
+    return s;
+  }
+};
+
+TEST_F(CoaddPaperScale, TaskCount) { EXPECT_EQ(stats().num_tasks, 6000u); }
+
+TEST_F(CoaddPaperScale, DistinctFilesNearTable2) {
+  // Paper Table 2: 53,390 total files at 6,000 tasks. Allow 3%.
+  EXPECT_NEAR(static_cast<double>(stats().distinct_files), 53390.0,
+              53390.0 * 0.03);
+}
+
+TEST_F(CoaddPaperScale, FilesPerTaskRangeMatchesTable2) {
+  // Paper: min 36, max 101.
+  EXPECT_GE(stats().min_files_per_task, 36u);
+  EXPECT_LE(stats().max_files_per_task, 101u);
+}
+
+TEST_F(CoaddPaperScale, MeanFilesPerTaskNearTable2) {
+  // Paper: 78.43 on average. Allow +-2.
+  EXPECT_NEAR(stats().avg_files_per_task, 78.43, 2.0);
+}
+
+TEST_F(CoaddPaperScale, ReferenceSharingMatchesFigure3) {
+  // Paper Fig. 3: roughly 85% of files are accessed by 6 or more tasks.
+  double frac6 = stats().refs_cdf.fraction_at_least(6);
+  EXPECT_GT(frac6, 0.78);
+  EXPECT_LT(frac6, 0.93);
+  // And everything is referenced at least once (by construction of the
+  // stats: only referenced files are counted).
+  EXPECT_DOUBLE_EQ(stats().refs_cdf.fraction_at_least(1), 1.0);
+}
+
+TEST_F(CoaddPaperScale, PopularTailExists) {
+  // The calibration-file pool produces a high-reference tail (Fig. 1's
+  // x-axis reaches 12+ references).
+  EXPECT_GT(stats().refs_cdf.fraction_at_least(12), 0.0);
+}
+
+TEST_F(CoaddPaperScale, ComputeCostScalesWithFiles) {
+  const Job& j = job();
+  for (const Task& t : j.tasks)
+    EXPECT_DOUBLE_EQ(t.mflop, 2.0e5 * static_cast<double>(t.files.size()));
+}
+
+TEST_F(CoaddPaperScale, UniformFileSize) {
+  EXPECT_EQ(job().catalog.size(FileId(0)), megabytes(25));
+}
+
+TEST(Coadd, DeterministicForSeed) {
+  CoaddParams p;
+  p.num_tasks = 200;
+  Job a = generate_coadd(p);
+  Job b = generate_coadd(p);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i)
+    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
+}
+
+TEST(Coadd, SeedChangesLayout) {
+  CoaddParams p1, p2;
+  p1.num_tasks = p2.num_tasks = 200;
+  p2.seed = p1.seed + 1;
+  Job a = generate_coadd(p1);
+  Job b = generate_coadd(p2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.tasks.size() && !any_diff; ++i)
+    any_diff = a.tasks[i].files != b.tasks[i].files;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Coadd, StripeNeighborsOverlapHeavily) {
+  CoaddParams p;
+  p.num_tasks = 600;
+  p.num_rows = 2;
+  Job j = generate_coadd(p);
+  // Tasks are emitted round-robin over rows: stripe-neighbours are
+  // num_rows ids apart and share most files (spatial structure). Average
+  // over many pairs (individual pairs vary with stride jumps and window
+  // subsampling).
+  double total_fraction = 0;
+  const std::size_t kPairs = 50;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    const auto& a = j.tasks[i * 2].files;       // row 0, window k = i
+    const auto& b = j.tasks[i * 2 + 2].files;   // row 0, window k = i+1
+    std::unordered_set<FileId> sa(a.begin(), a.end());
+    std::size_t shared = 0;
+    for (FileId f : b)
+      if (sa.count(f)) ++shared;
+    total_fraction += static_cast<double>(shared) /
+                      static_cast<double>(b.size());
+  }
+  EXPECT_GT(total_fraction / kPairs, 0.5);
+}
+
+TEST(Coadd, ConsecutiveIdsAreDifferentStripes) {
+  CoaddParams p;
+  p.num_tasks = 400;
+  p.num_rows = 4;
+  p.popular_picks_per_task = 0;  // isolate the row structure
+  Job j = generate_coadd(p);
+  // Task 0 (row 0) and task 1 (row 1) live in disjoint file regions.
+  std::unordered_set<FileId> row0(j.tasks[0].files.begin(),
+                                  j.tasks[0].files.end());
+  for (FileId f : j.tasks[1].files) EXPECT_EQ(row0.count(f), 0u);
+}
+
+TEST(Coadd, ScalesToOtherTaskCounts) {
+  CoaddParams p;
+  p.num_tasks = 1000;
+  Job j = generate_coadd(p);
+  JobStats s = compute_stats(j);
+  EXPECT_EQ(s.num_tasks, 1000u);
+  // Auto target: ~8.9 distinct files per task (looser at small scale:
+  // per-row rounding and pass offsets weigh more).
+  EXPECT_NEAR(static_cast<double>(s.distinct_files), 8900.0, 8900.0 * 0.10);
+}
+
+TEST(Coadd, ValidatedOutput) {
+  CoaddParams p;
+  p.num_tasks = 300;
+  EXPECT_NO_THROW(validate_job(generate_coadd(p)));
+}
+
+// --- Generic generators ---------------------------------------------------
+
+TEST(Generators, UniformShapes) {
+  GeneratorParams p;
+  p.num_tasks = 50;
+  p.num_files = 200;
+  p.files_per_task = 10;
+  Job j = generate_uniform(p);
+  EXPECT_EQ(j.tasks.size(), 50u);
+  for (const Task& t : j.tasks) EXPECT_EQ(t.files.size(), 10u);
+  EXPECT_NO_THROW(validate_job(j));
+}
+
+TEST(Generators, ZipfSkewsPopularity) {
+  GeneratorParams p;
+  p.num_tasks = 200;
+  p.num_files = 100;
+  p.files_per_task = 5;
+  Job j = generate_zipf(p, 1.2);
+  JobStats s = compute_stats(j);
+  // The hottest file should be referenced far more than the median file.
+  auto pts = s.refs_cdf.points();
+  EXPECT_GT(pts.back().first, 40u);  // hot file in most tasks
+}
+
+TEST(Generators, PartitionedHasZeroSharing) {
+  GeneratorParams p;
+  p.num_tasks = 30;
+  p.files_per_task = 4;
+  Job j = generate_partitioned(p);
+  JobStats s = compute_stats(j);
+  EXPECT_EQ(s.distinct_files, 120u);
+  EXPECT_DOUBLE_EQ(s.refs_cdf.fraction_at_least(2), 0.0);
+}
+
+TEST(Generators, SlidingWindowOverlap) {
+  Job j = generate_sliding_window(10, 8, 2);
+  // task t and t+1 share width - stride = 6 files.
+  std::unordered_set<FileId> a(j.tasks[0].files.begin(),
+                               j.tasks[0].files.end());
+  std::size_t shared = 0;
+  for (FileId f : j.tasks[1].files)
+    if (a.count(f)) ++shared;
+  EXPECT_EQ(shared, 6u);
+}
+
+TEST(Generators, UniformRequiresFeasibleParams) {
+  GeneratorParams p;
+  p.num_files = 5;
+  p.files_per_task = 10;
+  EXPECT_THROW((void)generate_uniform(p), std::logic_error);
+}
+
+// --- Trace round trip -----------------------------------------------------
+
+TEST(Trace, RoundTripPreservesJob) {
+  CoaddParams p;
+  p.num_tasks = 100;
+  Job a = generate_coadd(p);
+  std::stringstream ss;
+  save_job(a, ss);
+  Job b = load_job(ss);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_EQ(a.catalog.num_files(), b.catalog.num_files());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
+    EXPECT_DOUBLE_EQ(a.tasks[i].mflop, b.tasks[i].mflop);
+  }
+  for (std::size_t f = 0; f < a.catalog.num_files(); ++f)
+    EXPECT_EQ(a.catalog.size(FileId(f)), b.catalog.size(FileId(f)));
+}
+
+TEST(Trace, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# a comment\n\njob tiny\nfiles 2\nfilesize 0 100\nfilesize 1 200\n"
+     << "task 0 5.5 0 1\n";
+  Job j = load_job(ss);
+  EXPECT_EQ(j.name, "tiny");
+  EXPECT_EQ(j.tasks.size(), 1u);
+  EXPECT_EQ(j.catalog.size(FileId(1)), 200u);
+  EXPECT_DOUBLE_EQ(j.tasks[0].mflop, 5.5);
+}
+
+TEST(Trace, RejectsUnknownDirective) {
+  std::stringstream ss;
+  ss << "bogus 1 2 3\n";
+  EXPECT_THROW((void)load_job(ss), std::logic_error);
+}
+
+}  // namespace
+}  // namespace wcs::workload
