@@ -40,9 +40,8 @@ int main(int argc, char** argv) {
                              : "x" + std::to_string(1.0 + error).substr(0, 4));
     for (const auto& spec : {wq, xs, rest2}) {
       double makespan = 0;
-      for (std::uint64_t seed : seeds)
-        makespan += grid::run_once(c, job, spec, seed).makespan_minutes() /
-                    static_cast<double>(seeds.size());
+      for (const auto& r : grid::run_seeds(c, job, spec, seeds, opt.jobs))
+        makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
       std::cout << std::right << std::fixed << std::setprecision(0)
                 << std::setw(16) << makespan;
       bench::progress(spec.name() + " @ error " + std::to_string(error));

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   grid::GridConfig c = bench::paper_config();
   auto rows =
       grid::run_matrix(c, job, specs, seeds,
-                       [](const std::string& s) { bench::progress(s); });
+                       [](const std::string& s) { bench::progress(s); },
+                       opt.jobs);
   grid::print_table(std::cout,
                     "Ablation A2: ChooseTask(n) sweep (Table 1 defaults)",
                     rows);

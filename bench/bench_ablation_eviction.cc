@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
           c, job, specs, seeds, [&](const std::string& s) {
             bench::progress(std::string(storage::to_string(policy)) + " @" +
                             std::to_string(cap) + ": " + s);
-          });
+          },
+          opt.jobs);
       grid::print_table(std::cout,
                         std::string("Ablation A3: eviction = ") +
                             storage::to_string(policy) + ", capacity " +

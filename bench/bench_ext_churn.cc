@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
         c.churn = churn;
       }
       double makespan = 0;
-      for (std::uint64_t seed : seeds) {
-        auto r = grid::run_once(c, job, spec, seed);
+      for (const auto& r : grid::run_seeds(c, job, spec, seeds, opt.jobs)) {
         makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
         failures += static_cast<double>(r.worker_failures) /
                     static_cast<double>(seeds.size() * specs.size());

@@ -59,9 +59,8 @@ int main(int argc, char** argv) {
       rp.placement = replication::Placement::kLeastLoaded;
       c.replication = rp;
     }
-    std::vector<metrics::RunResult> runs;
-    for (std::uint64_t seed : seeds)
-      runs.push_back(grid::run_once(c, job, v.spec, seed));
+    std::vector<metrics::RunResult> runs =
+        grid::run_seeds(c, job, v.spec, seeds, opt.jobs);
     double makespan = 0, transfers = 0, repl_files = 0, replicas = 0;
     for (const auto& r : runs) {
       makespan += r.makespan_minutes() / runs.size();

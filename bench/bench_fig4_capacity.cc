@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     pt.x_label = std::to_string(cap);
     pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
       bench::progress("capacity " + pt.x_label + ": " + s);
-    });
+    }, opt.jobs);
     points.push_back(std::move(pt));
   }
 

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     pt.x_label = std::to_string(workers);
     pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
       bench::progress(pt.x_label + " workers/site: " + s);
-    });
+    }, opt.jobs);
     points.push_back(std::move(pt));
   }
 

@@ -6,6 +6,8 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
+#include "grid/experiment.h"
 #include "grid/grid_simulation.h"
 #include "net/flow_manager.h"
 #include "net/tiers.h"
@@ -81,6 +83,79 @@ void BM_SchedulerWeightScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SchedulerWeightScan)->Unit(benchmark::kMillisecond)->Arg(1000);
+
+void BM_EventKernelWithCancellation(benchmark::State& state) {
+  // Schedule/cancel churn: every other event is cancelled before firing,
+  // the pattern worker timeouts and replica cancellations produce. Guards
+  // the lazy-deletion scheme (no hashing on schedule/cancel/pop).
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i)
+      ids.push_back(sim.schedule_in((i * 37) % 1000, [] {}));
+    for (int i = 0; i < 10000; i += 2) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventKernelWithCancellation);
+
+void BM_ChooseTaskCombined(benchmark::State& state) {
+  // Per-decision cost of the combined metric at a paper-scale pending
+  // bag: weight() runs the totals query (incremental aggregates) plus one
+  // weight evaluation — the per-task unit of the choose_task scan.
+  workload::CoaddParams cp;
+  cp.num_tasks = static_cast<std::size_t>(state.range(0));
+  auto job = workload::generate_coadd(cp);
+  grid::GridConfig config;
+  config.tiers.num_sites = 10;
+  config.capacity_files = 6000;
+  sched::SchedulerSpec spec;
+  spec.algorithm = sched::Algorithm::kWorkqueue;  // engine substrate only
+  grid::GridSimulation engine(config, job, sched::make_scheduler(spec));
+  sched::WorkerCentricParams params;
+  params.metric = sched::Metric::kCombined;
+  sched::WorkerCentricScheduler scheduler(params);
+  scheduler.attach(engine);
+  scheduler.on_job_submitted();
+  unsigned i = 0;
+  for (auto _ : state) {
+    TaskId t(i % static_cast<unsigned>(state.range(0)));
+    benchmark::DoNotOptimize(scheduler.weight(SiteId(i % 10), t));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChooseTaskCombined)->Arg(1000)->Arg(6000);
+
+void BM_RunMatrix(benchmark::State& state) {
+  // Wall-clock of a 6-algorithm x 4-seed figure matrix, serial
+  // (jobs = 1) vs fanned out over the thread pool (jobs = 4). The
+  // acceptance bar for the parallel runner: identical output, and on
+  // multi-core hardware ~jobs x less wall-clock.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  workload::CoaddParams cp;
+  cp.num_tasks = 300;
+  auto job = workload::generate_coadd(cp);
+  grid::GridConfig config;
+  config.tiers.num_sites = 10;
+  config.capacity_files = 6000;
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  for (auto _ : state) {
+    auto rows = grid::run_matrix(config, job, specs, seeds, {}, jobs);
+    benchmark::DoNotOptimize(rows.front().makespan_minutes);
+  }
+  state.SetItemsProcessed(state.iterations() * specs.size() * seeds.size());
+}
+BENCHMARK(BM_RunMatrix)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_CoaddGeneration(benchmark::State& state) {
   workload::CoaddParams cp;

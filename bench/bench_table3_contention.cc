@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   for (int workers : {2, 4, 6, 8}) {
     grid::GridConfig c = bench::paper_config();
     c.tiers.workers_per_site = workers;
-    auto avg = grid::run_averaged(c, job, rest, seeds);
+    auto avg = grid::run_averaged(c, job, rest, seeds, opt.jobs);
     std::cout << std::left << std::setw(12) << workers << std::right
               << std::fixed << std::setprecision(2) << std::setw(18)
               << avg.waiting_hours_per_site << std::setw(18)

@@ -6,11 +6,13 @@
 //
 //   --tasks N      workload size (default 6000 = the paper's slice)
 //   --seeds K      topology repetitions (default 5)
+//   --jobs N       worker threads for independent runs (default: all
+//                  hardware threads; output is identical at any level)
 //   --csv PATH     also write the series as CSV
 //   --fast         1500 tasks, 2 seeds (quick shape check)
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
-// smoke runs).
+// smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/thread_pool.h"
 #include "grid/experiment.h"
 #include "workload/coadd.h"
 
@@ -31,6 +34,7 @@ namespace wcs::bench {
 struct BenchOptions {
   std::size_t tasks = 6000;
   std::size_t seeds = 5;
+  std::size_t jobs = ThreadPool::default_concurrency();
   std::optional<std::string> csv_path;
   bool fast = false;
 
@@ -45,6 +49,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
   if (const char* env = std::getenv("WCS_BENCH_FAST"); env && *env == '1')
     opt.fast = true;
+  if (const char* env = std::getenv("WCS_BENCH_JOBS"); env && *env)
+    opt.jobs = std::stoul(env);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -58,18 +64,30 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.tasks = std::stoul(next());
     } else if (arg == "--seeds") {
       opt.seeds = std::stoul(next());
+    } else if (arg == "--jobs") {
+      opt.jobs = std::stoul(next());
     } else if (arg == "--csv") {
       opt.csv_path = next();
     } else if (arg == "--fast") {
       opt.fast = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --tasks N --seeds K --csv PATH --fast\n";
+      std::cout << "options: --tasks N --seeds K --jobs N --csv PATH "
+                   "--fast\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option " << arg << '\n';
       std::exit(2);
     }
   }
+  if (opt.tasks == 0) {
+    std::cerr << "--tasks must be >= 1 (0 would produce an empty sweep)\n";
+    std::exit(2);
+  }
+  if (opt.seeds == 0) {
+    std::cerr << "--seeds must be >= 1 (0 would produce an empty sweep)\n";
+    std::exit(2);
+  }
+  if (opt.jobs == 0) opt.jobs = 1;
   if (opt.fast) {
     opt.tasks = std::min<std::size_t>(opt.tasks, 1500);
     opt.seeds = std::min<std::size_t>(opt.seeds, 2);

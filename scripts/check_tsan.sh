@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build with a sanitizer and run the tier-1 tests plus the parallel
+# experiment-runner tests under it.
+#
+#   scripts/check_tsan.sh              # ThreadSanitizer (default)
+#   WCS_SANITIZE=address scripts/check_tsan.sh   # AddressSanitizer
+#
+# Uses a dedicated build tree (build-tsan/ or build-asan/) so the regular
+# build stays untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${WCS_SANITIZE:-thread}"
+case "$SANITIZER" in
+  thread) BUILD_DIR=build-tsan ;;
+  address) BUILD_DIR=build-asan ;;
+  *) echo "WCS_SANITIZE must be 'thread' or 'address' (got '$SANITIZER')" >&2
+     exit 2 ;;
+esac
+
+cmake -B "$BUILD_DIR" -S . -DWCS_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+
+# The parallel runner is the piece with real cross-thread interaction —
+# run its tests first and loudly, then the whole tier-1 suite.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'ThreadPool|ParallelRunner'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "ok — tier-1 + parallel-runner tests clean under ${SANITIZER} sanitizer"

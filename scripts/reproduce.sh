@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
 # Reproduce everything: build, test, regenerate every paper table/figure.
 #
-#   scripts/reproduce.sh           # full scale (paper parameters, ~1 h)
-#   scripts/reproduce.sh --fast    # 1500 tasks / 2 seeds (~5 min)
+#   scripts/reproduce.sh                    # full scale (paper parameters)
+#   scripts/reproduce.sh --fast             # 1500 tasks / 2 seeds
+#   scripts/reproduce.sh --jobs 8           # fan runs over 8 threads
+#   WCS_BENCH_JOBS=8 scripts/reproduce.sh   # same, via the environment
 #
-# Outputs land in results/: one .txt per bench plus CSV series.
+# Independent (algorithm, topology-seed) runs are fanned out over worker
+# threads; the default is all hardware threads and the output is
+# bit-identical at any --jobs level. Outputs land in results/: one .txt
+# per bench plus CSV series.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST_FLAG=""
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST_FLAG="--fast"
-fi
+JOBS_FLAGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST_FLAG="--fast"; shift ;;
+    --jobs) JOBS_FLAGS=(--jobs "$2"); shift 2 ;;
+    *) echo "usage: $0 [--fast] [--jobs N]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -25,7 +35,8 @@ for bench in build/bench/bench_*; do
   if [[ "$name" == "bench_micro" ]]; then
     "$bench" | tee "results/$name.txt"
   else
-    "$bench" $FAST_FLAG --csv "results/$name.csv" | tee "results/$name.txt"
+    "$bench" $FAST_FLAG "${JOBS_FLAGS[@]}" --csv "results/$name.csv" \
+      | tee "results/$name.txt"
   fi
 done
 

@@ -1,9 +1,48 @@
 #include "grid/experiment.h"
 
+#include <future>
 #include <iomanip>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace wcs::grid {
+
+namespace {
+
+// Fans run_once() over the (spec, seed) cross product. The result vector
+// is laid out spec-major (all seeds of spec 0, then spec 1, ...) and
+// filled in submission order from futures, so the caller sees exactly
+// the sequence the serial loop would produce regardless of how the pool
+// interleaves execution.
+std::vector<metrics::RunResult> run_all(
+    const GridConfig& config, const workload::Job& job,
+    std::span<const sched::SchedulerSpec> specs,
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs) {
+  const std::size_t total = specs.size() * topology_seeds.size();
+  std::vector<metrics::RunResult> runs;
+  runs.reserve(total);
+
+  const std::size_t workers = std::min(std::max<std::size_t>(jobs, 1), total);
+  if (workers <= 1) {
+    for (const sched::SchedulerSpec& spec : specs)
+      for (std::uint64_t seed : topology_seeds)
+        runs.push_back(run_once(config, job, spec, seed));
+    return runs;
+  }
+
+  ThreadPool pool(workers);
+  std::vector<std::future<metrics::RunResult>> futures;
+  futures.reserve(total);
+  for (const sched::SchedulerSpec& spec : specs)
+    for (std::uint64_t seed : topology_seeds)
+      futures.push_back(pool.submit(
+          [&config, &job, &spec, seed] { return run_once(config, job, spec, seed); }));
+  for (std::future<metrics::RunResult>& f : futures) runs.push_back(f.get());
+  return runs;
+}
+
+}  // namespace
 
 std::vector<std::uint64_t> default_topology_seeds() {
   return {1, 2, 3, 4, 5};
@@ -19,35 +58,57 @@ metrics::RunResult run_once(const GridConfig& config,
   return simulation.run();
 }
 
+std::vector<metrics::RunResult> run_seeds(
+    const GridConfig& config, const workload::Job& job,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs) {
+  WCS_CHECK(!topology_seeds.empty());
+  return run_all(config, job, std::span(&spec, 1), topology_seeds, jobs);
+}
+
 metrics::AveragedResult run_averaged(
     const GridConfig& config, const workload::Job& job,
     const sched::SchedulerSpec& spec,
-    std::span<const std::uint64_t> topology_seeds) {
-  WCS_CHECK(!topology_seeds.empty());
-  std::vector<metrics::RunResult> runs;
-  runs.reserve(topology_seeds.size());
-  for (std::uint64_t seed : topology_seeds)
-    runs.push_back(run_once(config, job, spec, seed));
-  return metrics::average(runs);
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs) {
+  return metrics::average(run_seeds(config, job, spec, topology_seeds, jobs));
 }
 
 std::vector<metrics::AveragedResult> run_matrix(
     const GridConfig& config, const workload::Job& job,
     std::span<const sched::SchedulerSpec> specs,
     std::span<const std::uint64_t> topology_seeds,
-    const std::function<void(const std::string&)>& progress) {
+    const std::function<void(const std::string&)>& progress,
+    std::size_t jobs) {
+  WCS_CHECK(!topology_seeds.empty());
+  auto note = [&](const sched::SchedulerSpec& spec,
+                  const metrics::AveragedResult& row) {
+    if (!progress) return;
+    std::ostringstream os;
+    os << spec.name() << ": makespan "
+       << std::fixed << std::setprecision(0) << row.makespan_minutes
+       << " min, " << std::setprecision(1) << row.transfers_per_site
+       << " transfers/site";
+    progress(os.str());
+  };
+
   std::vector<metrics::AveragedResult> rows;
   rows.reserve(specs.size());
-  for (const sched::SchedulerSpec& spec : specs) {
-    rows.push_back(run_averaged(config, job, spec, topology_seeds));
-    if (progress) {
-      std::ostringstream os;
-      os << spec.name() << ": makespan "
-         << std::fixed << std::setprecision(0) << rows.back().makespan_minutes
-         << " min, " << std::setprecision(1) << rows.back().transfers_per_site
-         << " transfers/site";
-      progress(os.str());
+  if (std::max<std::size_t>(jobs, 1) == 1) {
+    // Serial path streams progress as each algorithm finishes.
+    for (const sched::SchedulerSpec& spec : specs) {
+      rows.push_back(run_averaged(config, job, spec, topology_seeds));
+      note(spec, rows.back());
     }
+    return rows;
+  }
+
+  const std::vector<metrics::RunResult> runs =
+      run_all(config, job, specs, topology_seeds, jobs);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    rows.push_back(metrics::average(
+        std::span(runs).subspan(s * topology_seeds.size(),
+                                topology_seeds.size())));
+    note(specs[s], rows.back());
   }
   return rows;
 }

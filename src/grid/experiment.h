@@ -31,21 +31,37 @@ namespace wcs::grid {
                                           const sched::SchedulerSpec& spec,
                                           std::uint64_t topology_seed);
 
+// All per-seed runs of one spec, in seed order — the raw rows behind
+// run_averaged(), for callers that need RunResult fields the averaged
+// record drops. `jobs` as in run_averaged().
+[[nodiscard]] std::vector<metrics::RunResult> run_seeds(
+    const GridConfig& config, const workload::Job& job,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs = 1);
+
 // Mean over the given topology seeds (workload held fixed, as in the
 // paper: the Coadd trace does not change between repetitions).
+//
+// `jobs` is the number of pool threads the independent run_once() calls
+// fan out over; 0 or 1 means serial in the caller's thread. Every
+// (spec, seed) run is an isolated simulation and results are collected
+// in (spec, seed) submission order, so the output is identical at any
+// `jobs` level.
 [[nodiscard]] metrics::AveragedResult run_averaged(
     const GridConfig& config, const workload::Job& job,
     const sched::SchedulerSpec& spec,
-    std::span<const std::uint64_t> topology_seeds);
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs = 1);
 
 // Runs every spec and returns one averaged row per algorithm, in order.
 // `progress` (optional) is invoked with a human-readable note as each
-// algorithm finishes — benches use it to stream status.
+// algorithm finishes — benches use it to stream status (always from the
+// caller's thread, in spec order). `jobs` as in run_averaged().
 [[nodiscard]] std::vector<metrics::AveragedResult> run_matrix(
     const GridConfig& config, const workload::Job& job,
     std::span<const sched::SchedulerSpec> specs,
     std::span<const std::uint64_t> topology_seeds,
-    const std::function<void(const std::string&)>& progress = {});
+    const std::function<void(const std::string&)>& progress = {},
+    std::size_t jobs = 1);
 
 // Pretty-prints rows as an aligned table (one column set used by all
 // benches: makespan, transfers/site, totals, waits).

@@ -4,7 +4,7 @@
 
 namespace wcs::metrics {
 
-AveragedResult average(const std::vector<RunResult>& runs) {
+AveragedResult average(std::span<const RunResult> runs) {
   WCS_CHECK(!runs.empty());
   AveragedResult avg;
   avg.scheduler = runs.front().scheduler;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,6 @@ struct AveragedResult {
   double makespan_minutes_max = 0;
 };
 
-[[nodiscard]] AveragedResult average(const std::vector<RunResult>& runs);
+[[nodiscard]] AveragedResult average(std::span<const RunResult> runs);
 
 }  // namespace wcs::metrics

@@ -1,6 +1,7 @@
 #include "sched/worker_centric.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace wcs::sched {
@@ -40,8 +41,13 @@ void WorkerCentricScheduler::build_index() {
   const std::size_t num_files = job.catalog.num_files();
 
   tasks_of_file_.assign(num_files, {});
-  for (const workload::Task& t : job.tasks)
+  task_size_.assign(num_tasks, 0);
+  std::uint32_t max_task_size = 0;
+  for (const workload::Task& t : job.tasks) {
     for (FileId f : t.files) tasks_of_file_[f.value()].push_back(t.id);
+    task_size_[t.id.value()] = static_cast<std::uint32_t>(t.files.size());
+    max_task_size = std::max(max_task_size, task_size_[t.id.value()]);
+  }
 
   pending_.assign(num_tasks, 1);
   pending_list_.resize(num_tasks);
@@ -70,6 +76,13 @@ void WorkerCentricScheduler::build_index() {
         idx.ref_sum[t.value()] += refs;
       }
     }
+    // Seed the incremental aggregates (every task is pending at submit).
+    idx.total_ref = 0;
+    idx.missing_hist.assign(max_task_size + 1, 0);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      idx.total_ref += idx.ref_sum[t];
+      ++idx.missing_hist[task_size_[t] - idx.overlap[t]];
+    }
     engine().set_cache_listener(
         site, [this, site](storage::CacheEvent e, FileId f) {
           on_cache_event(site, e, f);
@@ -84,13 +97,21 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
   // The listener fires after the cache mutated, so ref_count(file) is the
   // post-event value: on kAdded the pre-existing count, on kEvicted the
   // count accumulated while resident (insert/evict do not change counts).
+  // The inverted index only holds PENDING tasks (trimmed in
+  // remove_pending, restored in re_add_pending), so every task touched
+  // here also updates the site's incremental totals.
   switch (event) {
     case storage::CacheEvent::kAdded: {
       auto refs = static_cast<std::uint64_t>(
           engine().site_cache(site).ref_count(file));
       for (TaskId t : tasks_of_file_[file.value()]) {
+        const std::uint32_t missing = missing_of(idx, t);
+        WCS_DCHECK(missing > 0);  // the file was not resident before
+        --idx.missing_hist[missing];
+        ++idx.missing_hist[missing - 1];
         ++idx.overlap[t.value()];
         idx.ref_sum[t.value()] += refs;
+        idx.total_ref += refs;
       }
       break;
     }
@@ -99,30 +120,34 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
           engine().site_cache(site).ref_count(file));
       for (TaskId t : tasks_of_file_[file.value()]) {
         WCS_DCHECK(idx.overlap[t.value()] > 0);
+        const std::uint32_t missing = missing_of(idx, t);
+        --idx.missing_hist[missing];
+        ++idx.missing_hist[missing + 1];
         --idx.overlap[t.value()];
         idx.ref_sum[t.value()] -= refs;
+        idx.total_ref -= refs;
       }
       break;
     }
     case storage::CacheEvent::kAccessed:
       // r_i was incremented by exactly one while the file is resident.
-      for (TaskId t : tasks_of_file_[file.value()])
+      for (TaskId t : tasks_of_file_[file.value()]) {
         idx.ref_sum[t.value()] += 1;
+        idx.total_ref += 1;
+      }
       break;
   }
 }
 
 double WorkerCentricScheduler::rest_of(const SiteIndex& idx,
                                        TaskId task) const {
-  const auto total = engine().job().task(task).files.size();
-  const auto overlap = idx.overlap[task.value()];
-  WCS_DCHECK(overlap <= total);
-  const std::size_t missing = total - overlap;
+  WCS_DCHECK(idx.overlap[task.value()] <= task_size_[task.value()]);
+  const std::uint32_t missing = missing_of(idx, task);
   return missing == 0 ? kFullOverlapRestWeight
                       : 1.0 / static_cast<double>(missing);
 }
 
-std::pair<double, double> WorkerCentricScheduler::totals(
+std::pair<double, double> WorkerCentricScheduler::scan_totals(
     const SiteIndex& idx) const {
   double total_ref = 0;
   double total_rest = 0;
@@ -131,6 +156,34 @@ std::pair<double, double> WorkerCentricScheduler::totals(
     total_rest += rest_of(idx, t);
   }
   return {total_ref, total_rest};
+}
+
+std::pair<double, double> WorkerCentricScheduler::totals(
+    const SiteIndex& idx) const {
+  // totalRest from the missing-count histogram: every pending task with m
+  // files missing contributes rest_t = 1/m (kFullOverlapRestWeight at
+  // m = 0). The histogram is as long as the largest task's file list —
+  // a workload constant (~100 for Coadd) independent of |pending|.
+  double total_rest = 0;
+  if (!idx.missing_hist.empty() && idx.missing_hist[0] > 0)
+    total_rest += idx.missing_hist[0] * kFullOverlapRestWeight;
+  for (std::size_t m = 1; m < idx.missing_hist.size(); ++m)
+    if (idx.missing_hist[m] > 0)
+      total_rest += static_cast<double>(idx.missing_hist[m]) /
+                    static_cast<double>(m);
+#ifndef NDEBUG
+  // Cross-validate against the pre-optimization O(|pending|) scan.
+  const auto [scan_ref, scan_rest] = scan_totals(idx);
+  WCS_DCHECK(scan_ref == static_cast<double>(idx.total_ref));
+  WCS_DCHECK(std::abs(scan_rest - total_rest) <=
+             1e-9 * std::max(1.0, std::abs(scan_rest)));
+#endif
+  return {static_cast<double>(idx.total_ref), total_rest};
+}
+
+std::pair<double, double> WorkerCentricScheduler::totals_of(
+    SiteId site) const {
+  return totals(sites_.at(site.value()));
 }
 
 double WorkerCentricScheduler::weight_of(const SiteIndex& idx, TaskId task,
@@ -268,6 +321,12 @@ void WorkerCentricScheduler::remove_pending(TaskId task) {
   pending_list_[pos] = last;
   pending_pos_[last.value()] = pos;
   pending_list_.pop_back();
+  // The task leaves every site's pending aggregates.
+  for (SiteIndex& idx : sites_) {
+    idx.total_ref -= idx.ref_sum[task.value()];
+    WCS_DCHECK(idx.missing_hist[missing_of(idx, task)] > 0);
+    --idx.missing_hist[missing_of(idx, task)];
+  }
   // Trim the inverted index so cache events stop touching this task.
   for (FileId f : engine().job().task(task).files) {
     auto& vec = tasks_of_file_[f.value()];
@@ -278,9 +337,12 @@ void WorkerCentricScheduler::remove_pending(TaskId task) {
   }
 }
 
+void WorkerCentricScheduler::forget_starving(WorkerId worker) {
+  std::erase(starving_, worker);
+}
+
 void WorkerCentricScheduler::on_worker_idle(WorkerId worker) {
-  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
-                  starving_.end());
+  forget_starving(worker);
   if (pending_list_.empty()) {
     // Bag is empty; optionally shave the tail by replicating. A worker
     // left without work is remembered: a crash elsewhere may refill the
@@ -358,8 +420,12 @@ void WorkerCentricScheduler::re_add_pending(TaskId task) {
         refs += cache.ref_count(f);
       }
     }
-    sites_[s].overlap[task.value()] = overlap;
-    sites_[s].ref_sum[task.value()] = refs;
+    SiteIndex& idx = sites_[s];
+    idx.overlap[task.value()] = overlap;
+    idx.ref_sum[task.value()] = refs;
+    // The task re-enters the site's pending aggregates.
+    idx.total_ref += refs;
+    ++idx.missing_hist[missing_of(idx, task)];
   }
   for (FileId f : job.task(task).files)
     tasks_of_file_[f.value()].push_back(task);
@@ -373,7 +439,7 @@ void WorkerCentricScheduler::re_add_pending(TaskId task) {
 void WorkerCentricScheduler::feed_starving() {
   while (!pending_list_.empty() && !starving_.empty()) {
     WorkerId worker = starving_.front();
-    starving_.erase(starving_.begin());
+    starving_.pop_front();
     if (!engine().worker_alive(worker)) continue;
     TaskId task = choose_task(engine().site_of(worker));
     remove_pending(task);
@@ -384,8 +450,7 @@ void WorkerCentricScheduler::feed_starving() {
 
 void WorkerCentricScheduler::on_worker_failed(
     WorkerId worker, const std::vector<TaskId>& lost) {
-  starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
-                  starving_.end());
+  forget_starving(worker);
   for (TaskId t : lost) {
     auto& instances = placements_[t.value()];
     instances.erase(std::remove(instances.begin(), instances.end(), worker),

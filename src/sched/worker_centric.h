@@ -23,11 +23,16 @@
 // Complexity: the paper's algorithm is O(T * I) per request (scan all
 // tasks, intersect file sets). We keep an incremental per-(site, task)
 // overlap/ref-sum index, updated from cache-change notifications, so a
-// request is an O(T) scan; the semantics are identical (tests cross-check
-// against the naive computation).
+// request is an O(T) scan; the combined metric's totalRef/totalRest are
+// likewise maintained incrementally (exact integer sum + missing-count
+// histogram) so they cost O(1)-ish per decision instead of a second
+// O(T) scan. The semantics are identical (tests cross-check against the
+// naive computation, and debug builds cross-validate the incremental
+// totals against the scan).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -99,10 +104,24 @@ class WorkerCentricScheduler final : public Scheduler {
   [[nodiscard]] std::size_t overlap_cardinality(SiteId site,
                                                 TaskId task) const;
 
+  // Incrementally-maintained (totalRef, totalRest) over the pending bag
+  // for `site`. Tests cross-check this against the O(|pending|) scan the
+  // combined metric used to pay on every choose_task().
+  [[nodiscard]] std::pair<double, double> totals_of(SiteId site) const;
+
  private:
   struct SiteIndex {
     std::vector<std::uint32_t> overlap;   // |F_t| per task
     std::vector<std::uint64_t> ref_sum;   // sum of r_i over F_t per task
+    // Aggregates over PENDING tasks only, maintained incrementally so the
+    // combined metric's totals are O(1)-ish per decision instead of an
+    // O(|pending|) scan. total_ref is exact integer arithmetic;
+    // total_rest is derived from a histogram of missing-file counts
+    // (rest_t = 1/missing depends only on `missing`), which keeps it
+    // exactly reproducible — no floating-point accumulation drift.
+    std::uint64_t total_ref = 0;               // sum of ref_sum[t], t pending
+    std::vector<std::uint32_t> missing_hist;   // [m] = # pending tasks with
+                                               // m files missing at the site
   };
 
   void build_index();
@@ -111,8 +130,18 @@ class WorkerCentricScheduler final : public Scheduler {
   [[nodiscard]] double weight_of(const SiteIndex& idx, TaskId task,
                                  double total_ref, double total_rest) const;
   [[nodiscard]] double rest_of(const SiteIndex& idx, TaskId task) const;
-  // (total_ref, total_rest) over pending tasks for one site.
+  // (total_ref, total_rest) over pending tasks for one site, from the
+  // incremental aggregates; cross-validated against scan_totals() in
+  // debug builds.
   [[nodiscard]] std::pair<double, double> totals(const SiteIndex& idx) const;
+  // The pre-optimization O(|pending|) scan, kept for WCS_DCHECK
+  // cross-validation.
+  [[nodiscard]] std::pair<double, double> scan_totals(
+      const SiteIndex& idx) const;
+  [[nodiscard]] std::uint32_t missing_of(const SiteIndex& idx,
+                                         TaskId task) const {
+    return task_size_[task.value()] - idx.overlap[task.value()];
+  }
   [[nodiscard]] TaskId choose_task(SiteId site);
 
   // Replication phase (only when params_.replicate_when_idle). Returns
@@ -122,11 +151,14 @@ class WorkerCentricScheduler final : public Scheduler {
   void re_add_pending(TaskId task);
   // Hand pending tasks to workers that starved on an empty bag.
   void feed_starving();
+  // Drop `worker` from the starving list if present.
+  void forget_starving(WorkerId worker);
 
   WorkerCentricParams params_;
   Rng rng_;
   std::vector<SiteIndex> sites_;
   std::vector<std::vector<TaskId>> tasks_of_file_;  // inverted index
+  std::vector<std::uint32_t> task_size_;            // |t| per task
   std::vector<char> pending_;         // by task id
   std::vector<TaskId> pending_list_;  // dense list for scanning
   std::vector<std::uint32_t> pending_pos_;  // task id -> index in list
@@ -134,8 +166,9 @@ class WorkerCentricScheduler final : public Scheduler {
   // engine reports completions regardless).
   std::vector<std::vector<WorkerId>> placements_;  // active instances
   std::vector<char> completed_;
-  // Workers that asked for work while the bag was empty, in ask order.
-  std::vector<WorkerId> starving_;
+  // Workers that asked for work while the bag was empty, in ask order
+  // (deque: feed_starving pops the front in O(1)).
+  std::deque<WorkerId> starving_;
 };
 
 }  // namespace wcs::sched

@@ -6,12 +6,16 @@
 // (time, insertion-sequence) order, so simultaneous events execute in the
 // deterministic order they were scheduled. Everything above (network
 // flows, data servers, workers, schedulers) is driven from these events.
+//
+// Cancellation is lazy: event ids are dense sequence numbers, so
+// per-event state lives in a flat byte vector instead of hash sets, and a
+// cancelled entry is simply skipped when the heap pops it. Scheduling,
+// cancelling, and popping therefore do no hashing on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -42,26 +46,32 @@ class Simulator {
   EventId schedule_at(SimTime at, EventCallback cb) {
     WCS_CHECK_MSG(at >= now_, "event in the past: " << at << " < " << now_);
     EventId id(next_seq_++);
+    state_.push_back(EventState::kLive);  // state_[id.value()]
+    ++live_count_;
     queue_.push(Entry{at, id, std::move(cb)});
-    live_.insert(id);
     return id;
   }
 
   // Cancel a pending event. Cancelling an already-fired or
-  // already-cancelled event is a no-op (returns false).
+  // already-cancelled event is a no-op (returns false). The heap entry
+  // stays behind as a tombstone and is discarded when popped.
   bool cancel(EventId id) {
-    if (!id.valid()) return false;
-    if (live_.erase(id) == 0) return false;
-    cancelled_.insert(id);
+    if (!id.valid() || id.value() >= state_.size()) return false;
+    if (state_[id.value()] != EventState::kLive) return false;
+    state_[id.value()] = EventState::kCancelled;
+    --live_count_;
     return true;
   }
 
-  // Run a single event. Returns false if the queue is empty.
+  // Run a single event. Returns false if no live event remains.
   bool step() {
     while (!queue_.empty()) {
       Entry e = pop();
-      if (cancelled_.erase(e.id) > 0) continue;
-      live_.erase(e.id);
+      EventState& st = state_[e.id.value()];
+      if (st == EventState::kCancelled) continue;  // tombstone
+      WCS_DCHECK(st == EventState::kLive);
+      st = EventState::kFired;
+      --live_count_;
       now_ = e.time;
       ++executed_;
       e.cb();
@@ -79,17 +89,25 @@ class Simulator {
   // Run events with time <= deadline, then set the clock to the deadline
   // (if it has not already passed it).
   void run_until(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().time <= deadline) {
+    for (;;) {
+      // Tombstones must not gate the deadline check: a cancelled entry at
+      // the top says nothing about when the next LIVE event fires.
+      while (!queue_.empty() &&
+             state_[queue_.top().id.value()] == EventState::kCancelled)
+        queue_.pop();
+      if (queue_.empty() || queue_.top().time > deadline) break;
       if (!step()) break;
     }
     if (now_ < deadline) now_ = deadline;
   }
 
   // True when no live (scheduled, uncancelled, unfired) events remain.
-  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
 
  private:
+  enum class EventState : std::uint8_t { kLive, kCancelled, kFired };
+
   struct Entry {
     SimTime time;
     EventId id;
@@ -115,8 +133,11 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  // Per-event lifecycle, indexed by the (dense) event sequence number —
+  // one byte per event ever scheduled, in lieu of live/cancelled hash
+  // sets.
+  std::vector<EventState> state_;
+  std::size_t live_count_ = 0;
   std::size_t executed_ = 0;
 };
 

@@ -171,6 +171,40 @@ TEST(Simulator, ExecutedEventsCountsOnlyFired) {
   EXPECT_EQ(s.executed_events(), 1u);
 }
 
+TEST(Simulator, LazyDeletionStress) {
+  // Heavy cancellation: half the events are tombstoned before they fire.
+  // Exercises the lazy-deletion path (tombstones skipped on pop, exact
+  // live accounting, cancel-of-fired rejected).
+  Simulator s;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 5000; ++i)
+    ids.push_back(s.schedule_in((i * 131) % 997, [&] { ++fired; }));
+  for (int i = 0; i < 5000; i += 2) EXPECT_TRUE(s.cancel(ids[i]));
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_EQ(fired, 2500);
+  EXPECT_EQ(s.executed_events(), 2500u);
+  EXPECT_TRUE(s.empty());
+  // Every event is now fired or cancelled; cancel is a no-op on both.
+  for (EventId id : ids) EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, RunUntilIgnoresCancelledEventsAtTheTop) {
+  // A cancelled event before the deadline must not cause run_until to
+  // execute a live event that lies beyond the deadline.
+  Simulator s;
+  bool late_ran = false;
+  EventId early = s.schedule_in(1.0, [] {});
+  s.schedule_in(10.0, [&] { late_ran = true; });
+  s.cancel(early);
+  s.run_until(5.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_TRUE(late_ran);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator s;
   double last = -1;

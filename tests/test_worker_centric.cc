@@ -394,5 +394,108 @@ INSTANTIATE_TEST_SUITE_P(
                                          Metric::kCombined),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)));
 
+// --- Incremental totals == naive totals (the choose_task fast path) -------
+
+// Recomputes (totalRef, totalRest) the way the paper defines them: a
+// scan over every pending task against the live cache.
+std::pair<double, double> naive_totals(const WorkerCentricScheduler& sched,
+                                       const FakeEngine& eng, SiteId site) {
+  const workload::Job& job = eng.job();
+  const storage::FileCache& cache = eng.site_cache(site);
+  double total_ref = 0;
+  double total_rest = 0;
+  for (const workload::Task& t : job.tasks) {
+    if (!sched.is_pending(t.id)) continue;
+    std::size_t overlap = 0;
+    std::uint64_t refs = 0;
+    for (FileId f : t.files) {
+      if (cache.contains(f)) {
+        ++overlap;
+        refs += cache.ref_count(f);
+      }
+    }
+    total_ref += static_cast<double>(refs);
+    const std::size_t missing = t.files.size() - overlap;
+    total_rest += missing == 0 ? kFullOverlapRestWeight
+                               : 1.0 / static_cast<double>(missing);
+  }
+  return {total_ref, total_rest};
+}
+
+void expect_totals_match(const WorkerCentricScheduler& sched,
+                         const FakeEngine& eng, std::size_t num_sites,
+                         const char* where) {
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    SiteId site(static_cast<SiteId::underlying_type>(s));
+    auto [inc_ref, inc_rest] = sched.totals_of(site);
+    auto [ref, rest] = naive_totals(sched, eng, site);
+    EXPECT_DOUBLE_EQ(inc_ref, ref) << where << " site " << s;
+    EXPECT_NEAR(inc_rest, rest, 1e-9) << where << " site " << s;
+  }
+}
+
+TEST(IncrementalTotals, SurviveAssignEvictFailReAddChurn) {
+  // Small caches force eviction; two sites; enough tasks that the bag
+  // stays busy across the whole churn sequence.
+  Rng rng(99);
+  std::vector<std::vector<unsigned>> sets;
+  const unsigned kFiles = 24;
+  for (int t = 0; t < 10; ++t) {
+    std::set<unsigned> files;
+    while (files.size() < 2 + rng.index(4))
+      files.insert(static_cast<unsigned>(rng.index(kFiles)));
+    sets.emplace_back(files.begin(), files.end());
+  }
+  auto job = make_job(sets, kFiles);
+  FakeEngine eng(job, 2, 2, /*capacity=*/6);
+  auto sched = make_sched(Metric::kCombined);
+  sched.attach(eng);
+  sched.on_job_submitted();
+  expect_totals_match(sched, eng, 2, "after submit");
+
+  // Warm the caches (accesses + inserts + evictions).
+  for (int i = 0; i < 40; ++i)
+    eng.add_file(SiteId(static_cast<SiteId::underlying_type>(rng.index(2))),
+                 FileId(static_cast<unsigned>(rng.index(kFiles))));
+  expect_totals_match(sched, eng, 2, "after warmup");
+
+  // Assign: tasks leave the pending bag.
+  sched.on_worker_idle(WorkerId(0));
+  sched.on_worker_idle(WorkerId(2));  // second site's worker
+  sched.on_worker_idle(WorkerId(1));
+  ASSERT_EQ(eng.assignments.size(), 3u);
+  expect_totals_match(sched, eng, 2, "after assign");
+
+  // Evict: more churn while tasks are out of the bag.
+  for (int i = 0; i < 30; ++i)
+    eng.add_file(SiteId(static_cast<SiteId::underlying_type>(rng.index(2))),
+                 FileId(static_cast<unsigned>(rng.index(kFiles))));
+  expect_totals_match(sched, eng, 2, "after evictions");
+
+  // Complete one instance, then fail the worker holding another: its
+  // lost task re-enters the bag via re_add_pending against the LIVE
+  // cache state.
+  sched.on_task_completed(eng.assignments[0].first,
+                          eng.assignments[0].second);
+  std::vector<TaskId> lost{eng.assignments[1].first};
+  sched.on_worker_failed(eng.assignments[1].second, lost);
+  EXPECT_TRUE(sched.is_pending(lost[0]));
+  expect_totals_match(sched, eng, 2, "after fail + re_add");
+
+  // And the re-added task keeps tracking subsequent cache churn.
+  for (int i = 0; i < 30; ++i)
+    eng.add_file(SiteId(static_cast<SiteId::underlying_type>(rng.index(2))),
+                 FileId(static_cast<unsigned>(rng.index(kFiles))));
+  expect_totals_match(sched, eng, 2, "after post-re_add churn");
+
+  // Drain the bag: totals of an empty bag are exactly zero.
+  for (unsigned w = 0; w < 20 && sched.pending_count() > 0; ++w)
+    sched.on_worker_idle(WorkerId(w % 4));
+  EXPECT_EQ(sched.pending_count(), 0u);
+  auto [ref0, rest0] = sched.totals_of(SiteId(0));
+  EXPECT_DOUBLE_EQ(ref0, 0.0);
+  EXPECT_DOUBLE_EQ(rest0, 0.0);
+}
+
 }  // namespace
 }  // namespace wcs::sched
