@@ -33,11 +33,14 @@ int main(int argc, char** argv) {
             << std::setw(16) << "rest.2" << '\n';
 
   for (double error : {0.0, 1.0, 3.0, 9.0}) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     c.estimate_error = error;
-    std::cout << std::left << std::setw(22)
-              << (error == 0 ? std::string("exact")
-                             : "x" + std::to_string(1.0 + error).substr(0, 4));
+    std::string label = "exact";
+    if (error != 0) {
+      label = "x";
+      label += std::to_string(1.0 + error).substr(0, 4);
+    }
+    std::cout << std::left << std::setw(22) << label;
     for (const auto& spec : {wq, xs, rest2}) {
       double makespan = 0;
       for (const auto& r : grid::run_seeds(c, job, spec, seeds, opt.jobs))

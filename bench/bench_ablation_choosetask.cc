@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       specs.push_back(s);
     }
 
-  grid::GridConfig c = bench::paper_config();
+  grid::GridConfig c = bench::paper_config(opt);
   auto rows =
       grid::run_matrix(c, job, specs, seeds,
                        [](const std::string& s) { bench::progress(s); },

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   rest.algorithm = sched::Algorithm::kRest;
   specs.push_back(rest);
 
-  grid::GridConfig c = bench::paper_config();
+  grid::GridConfig c = bench::paper_config(opt);
   auto rows =
       grid::run_matrix(c, job, specs, seeds,
                        [](const std::string& s) { bench::progress(s); },

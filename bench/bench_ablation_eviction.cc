@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     for (auto policy :
          {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
           storage::EvictionPolicy::kMinRef}) {
-      grid::GridConfig c = bench::paper_config();
+      grid::GridConfig c = bench::paper_config(opt);
       c.capacity_files = cap;
       c.eviction = policy;
       auto rows = grid::run_matrix(

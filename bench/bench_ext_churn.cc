@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                             : std::to_string(static_cast<int>(up_h)) + " h");
     double failures = 0;
     for (const auto& spec : specs) {
-      grid::GridConfig c = bench::paper_config();
+      grid::GridConfig c = bench::paper_config(opt);
       if (up_h > 0) {
         grid::GridConfig::ChurnParams churn;
         churn.mean_uptime_s = hours(up_h);

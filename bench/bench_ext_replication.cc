@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
             << std::setw(14) << "replicas" << '\n';
 
   for (const Variant& v : variants) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     if (v.data_replication) {
       replication::DataReplicatorParams rp;
       rp.popularity_threshold = 8;
@@ -61,12 +61,13 @@ int main(int argc, char** argv) {
     }
     std::vector<metrics::RunResult> runs =
         grid::run_seeds(c, job, v.spec, seeds, opt.jobs);
+    const double num_runs = static_cast<double>(runs.size());
     double makespan = 0, transfers = 0, repl_files = 0, replicas = 0;
     for (const auto& r : runs) {
-      makespan += r.makespan_minutes() / runs.size();
-      transfers += r.transfers_per_site() / runs.size();
-      repl_files += static_cast<double>(r.files_replicated) / runs.size();
-      replicas += static_cast<double>(r.replicas_started) / runs.size();
+      makespan += r.makespan_minutes() / num_runs;
+      transfers += r.transfers_per_site() / num_runs;
+      repl_files += static_cast<double>(r.files_replicated) / num_runs;
+      replicas += static_cast<double>(r.replicas_started) / num_runs;
     }
     std::cout << std::left << std::setw(32) << v.label << std::right
               << std::fixed << std::setprecision(0) << std::setw(16)

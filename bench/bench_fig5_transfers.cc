@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> capacities{3000, 6000, 15000, 30000};
   std::vector<bench::SweepPoint> points;
   for (std::size_t cap : capacities) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     c.capacity_files = cap;
     bench::SweepPoint pt;
     pt.x = static_cast<double>(cap);

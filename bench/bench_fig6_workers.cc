@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   if (opt.fast) worker_counts = {2, 4, 6, 8, 10};
   std::vector<bench::SweepPoint> points;
   for (int workers : worker_counts) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     c.tiers.workers_per_site = workers;
     bench::SweepPoint pt;
     pt.x = workers;

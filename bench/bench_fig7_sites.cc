@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   if (opt.fast) site_counts = {10, 18, 26};
   std::vector<bench::SweepPoint> points;
   for (int sites : site_counts) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     c.tiers.num_sites = sites;
     bench::SweepPoint pt;
     pt.x = sites;

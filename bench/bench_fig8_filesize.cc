@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     // File size lives in the catalog, so the workload is regenerated per
     // point (same seed: identical task -> file structure, new sizes).
     workload::Job job = bench::paper_workload(opt, megabytes(mb));
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     bench::SweepPoint pt;
     pt.x = mb;
     pt.x_label = std::to_string(static_cast<int>(mb)) + "MB";

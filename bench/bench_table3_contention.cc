@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::array<double, 4>> rows;
   for (int workers : {2, 4, 6, 8}) {
-    grid::GridConfig c = bench::paper_config();
+    grid::GridConfig c = bench::paper_config(opt);
     c.tiers.workers_per_site = workers;
     auto avg = grid::run_averaged(c, job, rest, seeds, opt.jobs);
     std::cout << std::left << std::setw(12) << workers << std::right

@@ -10,9 +10,12 @@
 //                  hardware threads; output is identical at any level)
 //   --csv PATH     also write the series as CSV
 //   --fast         1500 tasks, 2 seeds (quick shape check)
+//   --audit        run every simulation with the invariant auditor on
+//                  (src/audit); read-only checkers, identical output
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
-// smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs.
+// smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1
+// implies --audit (see audit::default_enabled()).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +40,7 @@ struct BenchOptions {
   std::size_t jobs = ThreadPool::default_concurrency();
   std::optional<std::string> csv_path;
   bool fast = false;
+  bool audit = false;
 
   [[nodiscard]] std::vector<std::uint64_t> topology_seeds() const {
     std::vector<std::uint64_t> s;
@@ -70,9 +74,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.csv_path = next();
     } else if (arg == "--fast") {
       opt.fast = true;
+    } else if (arg == "--audit") {
+      opt.audit = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --tasks N --seeds K --jobs N --csv PATH "
-                   "--fast\n";
+                   "--fast --audit\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option " << arg << '\n';
@@ -105,12 +111,15 @@ inline workload::Job paper_workload(const BenchOptions& opt,
   return workload::generate_coadd(p);
 }
 
-// Paper Table 1 platform defaults.
-inline grid::GridConfig paper_config() {
+// Paper Table 1 platform defaults. Honors --audit (sticky: the config
+// default already reflects WCS_AUDIT / the build type, so --audit can
+// only turn auditing on, never off).
+inline grid::GridConfig paper_config(const BenchOptions& opt) {
   grid::GridConfig c;
   c.tiers.num_sites = 10;
   c.tiers.workers_per_site = 1;
   c.capacity_files = 6000;
+  c.audit = c.audit || opt.audit;
   return c;
 }
 

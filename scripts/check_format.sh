@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Verify every C++ source is .clang-format-clean (skipped with a notice
+# when clang-format is not installed — the CI format job provides it).
+#
+#   scripts/check_format.sh          # check only (CI mode)
+#   scripts/check_format.sh --fix    # rewrite files in place
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT" >/dev/null 2>&1; then
+  echo "skip — $FORMAT not installed; install clang-format (or set" \
+       "CLANG_FORMAT) to run the format check"
+  exit 0
+fi
+
+mapfile -t SOURCES < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' \) | sort)
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$FORMAT" -i "${SOURCES[@]}"
+  echo "ok — formatted ${#SOURCES[@]} files"
+else
+  "$FORMAT" --dry-run --Werror "${SOURCES[@]}"
+  echo "ok — ${#SOURCES[@]} files are clang-format-clean"
+fi

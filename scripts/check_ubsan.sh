@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build with UndefinedBehaviorSanitizer (-fno-sanitize-recover=all: any
+# finding aborts the test) and run the tier-1 suite under it.
+#
+#   scripts/check_ubsan.sh
+#
+# Uses a dedicated build tree (build-ubsan/) so the regular build stays
+# untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-ubsan
+
+cmake -B "$BUILD_DIR" -S . -DWCS_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "ok — tier-1 tests clean under UndefinedBehaviorSanitizer"

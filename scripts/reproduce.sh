@@ -4,6 +4,7 @@
 #   scripts/reproduce.sh                    # full scale (paper parameters)
 #   scripts/reproduce.sh --fast             # 1500 tasks / 2 seeds
 #   scripts/reproduce.sh --jobs 8           # fan runs over 8 threads
+#   scripts/reproduce.sh --audit            # invariant auditor on every run
 #   WCS_BENCH_JOBS=8 scripts/reproduce.sh   # same, via the environment
 #
 # Independent (algorithm, topology-seed) runs are fanned out over worker
@@ -14,12 +15,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST_FLAG=""
+AUDIT_FLAG=""
 JOBS_FLAGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) FAST_FLAG="--fast"; shift ;;
+    --audit) AUDIT_FLAG="--audit"; shift ;;
     --jobs) JOBS_FLAGS=(--jobs "$2"); shift 2 ;;
-    *) echo "usage: $0 [--fast] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--fast] [--audit] [--jobs N]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,8 +38,8 @@ for bench in build/bench/bench_*; do
   if [[ "$name" == "bench_micro" ]]; then
     "$bench" | tee "results/$name.txt"
   else
-    "$bench" $FAST_FLAG "${JOBS_FLAGS[@]}" --csv "results/$name.csv" \
-      | tee "results/$name.txt"
+    "$bench" $FAST_FLAG $AUDIT_FLAG "${JOBS_FLAGS[@]}" \
+      --csv "results/$name.csv" | tee "results/$name.txt"
   fi
 done
 

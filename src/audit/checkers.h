@@ -1,0 +1,126 @@
+// The shipped invariant checkers.
+//
+// Each checker is a pure function over a snapshot struct: the component
+// that owns the state produces the snapshot (FlowManager::audit_snapshot,
+// FileCache::audit_snapshot, ...), and the checker validates its
+// conservation laws. Keeping checkers pure makes violations injectable in
+// unit tests without corrupting a live component.
+//
+// Shipped laws (DESIGN.md § Invariants & static analysis):
+//   flow-conservation   per-link allocation <= capacity; per-flow byte
+//                       accounting; started = delivered + in-flight +
+//                       cancelled remainder
+//   cache-coherence     occupancy <= capacity; pinned <= occupancy;
+//                       LRU/FIFO/MinRef order<->entry structure sound
+//   index-coherence     scheduler's incremental totals == full recompute
+//   task-lifecycle      pending -> assigned -> running -> completed
+//                       exactly once; placements match worker queues
+//   event-kernel        fire-time monotonicity; live/tombstone counts
+//   results-ledger      makespan == max completion; reported bytes ==
+//                       flow-ledger bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+
+namespace wcs::audit {
+
+// --- (a) flow conservation ----------------------------------------------
+
+struct LinkUsage {
+  std::string name;          // for the report
+  double capacity_bps = 0;
+  double allocated_bps = 0;  // sum of active-flow rates crossing the link
+  std::size_t flows = 0;     // active flows crossing the link
+};
+
+struct FlowProgress {
+  std::uint64_t id = 0;
+  double total_bytes = 0;
+  double remaining_bytes = 0;
+  double rate_bps = 0;
+  bool active = false;  // false while still in the latency phase
+};
+
+struct FlowAuditSnapshot {
+  std::vector<LinkUsage> links;
+  std::vector<FlowProgress> flows;  // in-progress flows
+  double bytes_started = 0;         // sum of sizes of every flow started
+  double bytes_delivered = 0;       // sum of sizes of completed flows
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_cancelled = 0;
+};
+
+void check_flow_conservation(const FlowAuditSnapshot& snap,
+                             std::vector<Violation>& out);
+
+// --- (b) cache / index coherence ----------------------------------------
+
+struct CacheAuditSnapshot {
+  std::string label;  // e.g. "site 3 data server"
+  std::size_t occupancy = 0;
+  std::size_t capacity = 0;
+  std::size_t pinned = 0;                // resident files with pin_count > 0
+  std::vector<std::string> structural;   // defects found by the cache itself
+};
+
+void check_cache_coherence(const CacheAuditSnapshot& snap,
+                           std::vector<Violation>& out);
+
+struct IndexTotalsSnapshot {
+  std::string label;  // e.g. "site 3"
+  double incremental_ref = 0;   // the O(1) maintained aggregates
+  double incremental_rest = 0;
+  double scanned_ref = 0;       // the full O(|pending|) recompute
+  double scanned_rest = 0;
+};
+
+void check_index_coherence(const IndexTotalsSnapshot& snap,
+                           std::vector<Violation>& out);
+
+// --- (c) task lifecycle -------------------------------------------------
+
+struct TaskLifecycleSnapshot {
+  std::size_t num_tasks = 0;
+  std::size_t completed_count = 0;        // engine's incremental counter
+  std::vector<std::uint32_t> completions; // observed completions per task
+  std::vector<std::string> placement_defects;  // instance<->holder mismatches
+  bool at_drain = false;  // end-of-run: every task must be completed
+};
+
+void check_task_lifecycle(const TaskLifecycleSnapshot& snap,
+                          std::vector<Violation>& out);
+
+// --- (d) event-kernel sanity --------------------------------------------
+
+struct EventKernelSnapshot {
+  double now = 0;
+  double previous_now = 0;       // clock at the previous sweep
+  std::size_t live_count = 0;    // kernel's incremental live counter
+  std::size_t recount_live = 0;  // recounted from the per-event states
+  std::size_t recount_cancelled = 0;
+  std::size_t recount_fired = 0;
+  std::uint64_t scheduled_total = 0;  // events ever scheduled
+};
+
+void check_event_kernel(const EventKernelSnapshot& snap,
+                        std::vector<Violation>& out);
+
+// --- (e) results ledger -------------------------------------------------
+
+struct ResultsLedgerSnapshot {
+  double makespan_s = 0;        // as reported in metrics::RunResult
+  double max_completion_s = 0;  // independently recorded completion maximum
+  std::size_t tasks_completed = 0;
+  std::size_t num_tasks = 0;
+  double reported_bytes = 0;   // site transfer stats + replication bytes
+  double delivered_bytes = 0;  // the flow manager's delivery ledger
+};
+
+void check_results_ledger(const ResultsLedgerSnapshot& snap,
+                          std::vector<Violation>& out);
+
+}  // namespace wcs::audit

@@ -1,0 +1,68 @@
+#include "audit/invariant_auditor.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wcs::audit {
+
+namespace {
+
+std::string format_report(const std::string& when,
+                          const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  os << "invariant audit failed (" << when << "): " << violations.size()
+     << " violation" << (violations.size() == 1 ? "" : "s");
+  for (const Violation& v : violations)
+    os << "\n  [" << v.checker << "] " << v.message;
+  return os.str();
+}
+
+}  // namespace
+
+AuditError::AuditError(const std::string& when,
+                       std::vector<Violation> violations)
+    : std::runtime_error(format_report(when, violations)),
+      violations_(std::move(violations)) {}
+
+void throw_if_violations(const std::string& when,
+                         std::vector<Violation> violations) {
+  if (!violations.empty()) throw AuditError(when, std::move(violations));
+}
+
+void InvariantAuditor::add_checker(std::string name, Checker fn) {
+  WCS_CHECK_MSG(fn != nullptr, "null checker " << name);
+  checkers_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+std::vector<Violation> InvariantAuditor::run_checks() {
+  ++sweeps_;
+  std::vector<Violation> violations;
+  for (const Entry& e : checkers_) e.fn(violations);
+  return violations;
+}
+
+void InvariantAuditor::check(const std::string& when) {
+  throw_if_violations(when, run_checks());
+}
+
+std::vector<std::string> InvariantAuditor::checker_names() const {
+  std::vector<std::string> names;
+  names.reserve(checkers_.size());
+  for (const Entry& e : checkers_) names.push_back(e.name);
+  return names;
+}
+
+bool default_enabled() {
+  if (const char* env = std::getenv("WCS_AUDIT"); env && *env != '\0')
+    return *env == '1';
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace wcs::audit

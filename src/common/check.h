@@ -3,6 +3,14 @@
 // WCS_CHECK is always on (it guards simulation invariants whose violation
 // would silently corrupt results); WCS_DCHECK compiles out in release
 // builds and is used on hot paths.
+//
+// The comparison forms (WCS_CHECK_EQ/NE/LT/LE/GT/GE and their DCHECK
+// twins) print both operand values on failure — prefer them over
+// WCS_CHECK(a == b), whose message shows only the expression text.
+//
+// WCS_DCHECK* evaluate their operands zero times in NDEBUG builds:
+// expressions with side effects must be hoisted into a named local (see
+// the DCHECK side-effect audit note in DESIGN.md § Invariants).
 #pragma once
 
 #include <sstream>
@@ -17,6 +25,15 @@ namespace wcs::detail {
   os << "WCS_CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw std::logic_error(os.str());
+}
+
+template <typename A, typename B>
+[[noreturn]] inline void check_op_failed(const char* expr, const A& a,
+                                         const B& b, const char* file,
+                                         int line) {
+  std::ostringstream os;
+  os << "operands: " << a << " vs " << b;
+  check_failed(expr, file, line, os.str());
 }
 
 }  // namespace wcs::detail
@@ -36,10 +53,41 @@ namespace wcs::detail {
     }                                                                    \
   } while (0)
 
+// Comparison checks that report both operand values. Operands are
+// evaluated exactly once; their types only need operator<< and the
+// compared operator.
+#define WCS_CHECK_OP_(op, a, b)                                          \
+  do {                                                                   \
+    const auto& wcs_check_a_ = (a);                                      \
+    const auto& wcs_check_b_ = (b);                                      \
+    if (!(wcs_check_a_ op wcs_check_b_))                                 \
+      ::wcs::detail::check_op_failed(#a " " #op " " #b, wcs_check_a_,    \
+                                     wcs_check_b_, __FILE__, __LINE__);  \
+  } while (0)
+
+#define WCS_CHECK_EQ(a, b) WCS_CHECK_OP_(==, a, b)
+#define WCS_CHECK_NE(a, b) WCS_CHECK_OP_(!=, a, b)
+#define WCS_CHECK_LT(a, b) WCS_CHECK_OP_(<, a, b)
+#define WCS_CHECK_LE(a, b) WCS_CHECK_OP_(<=, a, b)
+#define WCS_CHECK_GT(a, b) WCS_CHECK_OP_(>, a, b)
+#define WCS_CHECK_GE(a, b) WCS_CHECK_OP_(>=, a, b)
+
 #ifdef NDEBUG
 #define WCS_DCHECK(expr) \
   do {                   \
   } while (0)
+#define WCS_DCHECK_EQ(a, b) WCS_DCHECK(0)
+#define WCS_DCHECK_NE(a, b) WCS_DCHECK(0)
+#define WCS_DCHECK_LT(a, b) WCS_DCHECK(0)
+#define WCS_DCHECK_LE(a, b) WCS_DCHECK(0)
+#define WCS_DCHECK_GT(a, b) WCS_DCHECK(0)
+#define WCS_DCHECK_GE(a, b) WCS_DCHECK(0)
 #else
 #define WCS_DCHECK(expr) WCS_CHECK(expr)
+#define WCS_DCHECK_EQ(a, b) WCS_CHECK_EQ(a, b)
+#define WCS_DCHECK_NE(a, b) WCS_CHECK_NE(a, b)
+#define WCS_DCHECK_LT(a, b) WCS_CHECK_LT(a, b)
+#define WCS_DCHECK_LE(a, b) WCS_CHECK_LE(a, b)
+#define WCS_DCHECK_GT(a, b) WCS_CHECK_GT(a, b)
+#define WCS_DCHECK_GE(a, b) WCS_CHECK_GE(a, b)
 #endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <string>
 
 #include "common/log.h"
 
@@ -80,6 +82,7 @@ GridSimulation::GridSimulation(const GridConfig& config,
 
   completed_.assign(job_.num_tasks(), 0);
   instances_.assign(job_.num_tasks(), {});
+  completion_counts_.assign(job_.num_tasks(), 0);
   if (config_.record_timeline)
     timeline_ = std::make_unique<metrics::TimelineRecorder>();
 }
@@ -259,7 +262,8 @@ void GridSimulation::start_next(WorkerId worker) {
 
 void GridSimulation::files_ready(WorkerId worker, TaskId task) {
   WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kFetching && rt.current == task);
+  WCS_CHECK(rt.state == WorkerState::kFetching);
+  WCS_CHECK_EQ(rt.current, task);
   rt.state = WorkerState::kComputing;
   trace(metrics::TimelineEventKind::kExecStart, task, worker);
   SimTime compute = rt.info.compute_time_s(job_.task(task).mflop);
@@ -269,7 +273,8 @@ void GridSimulation::files_ready(WorkerId worker, TaskId task) {
 
 void GridSimulation::finish_task(WorkerId worker, TaskId task) {
   WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kComputing && rt.current == task);
+  WCS_CHECK(rt.state == WorkerState::kComputing);
+  WCS_CHECK_EQ(rt.current, task);
   WCS_CHECK_MSG(!completed_[task.value()],
                 "task " << task << " completed twice");
   rt.compute_event = EventId::invalid();
@@ -278,6 +283,8 @@ void GridSimulation::finish_task(WorkerId worker, TaskId task) {
   completed_[task.value()] = 1;
   ++completed_count_;
   last_completion_ = sim_.now();
+  ++completion_counts_[task.value()];
+  audit_max_completion_ = std::max(audit_max_completion_, sim_.now());
   trace(metrics::TimelineEventKind::kCompleted, task, worker);
   if (completed_count_ == job_.num_tasks()) {
     if (replicator_) replicator_->stop();  // no more scans; drain cleanly
@@ -347,6 +354,126 @@ void GridSimulation::go_idle(WorkerId worker) {
   });
 }
 
+void GridSimulation::register_audit_checkers() {
+  auditor_->add_checker("flow-conservation", [this](auto& out) {
+    audit::check_flow_conservation(flows_->audit_snapshot(), out);
+  });
+  auditor_->add_checker("cache-coherence", [this](auto& out) {
+    for (const auto& ds : data_servers_)
+      audit::check_cache_coherence(
+          ds->cache().audit_snapshot("site " +
+                                     std::to_string(ds->site().value()) +
+                                     " data server"),
+          out);
+  });
+  auditor_->add_checker("index-coherence", [this](auto& out) {
+    scheduler_->audit_collect(out);
+  });
+  auditor_->add_checker("task-lifecycle", [this](auto& out) {
+    audit::check_task_lifecycle(lifecycle_snapshot(), out);
+  });
+  auditor_->add_checker("event-kernel", [this](auto& out) {
+    audit::EventKernelSnapshot snap;
+    snap.now = sim_.now();
+    snap.previous_now = audit_prev_now_;
+    snap.live_count = sim_.live_events();
+    const sim::Simulator::EventCounts counts = sim_.recount_events();
+    snap.recount_live = counts.live;
+    snap.recount_cancelled = counts.cancelled;
+    snap.recount_fired = counts.fired;
+    snap.scheduled_total = counts.scheduled;
+    audit::check_event_kernel(snap, out);
+    audit_prev_now_ = sim_.now();  // audit-only bookkeeping
+  });
+}
+
+audit::TaskLifecycleSnapshot GridSimulation::lifecycle_snapshot() const {
+  audit::TaskLifecycleSnapshot snap;
+  snap.num_tasks = job_.num_tasks();
+  snap.completed_count = completed_count_;
+  snap.completions = completion_counts_;
+  snap.at_drain = drained_;
+
+  // Placement coherence: instances_ and the workers' queues must describe
+  // the same set of (task, worker) holdings.
+  auto defect = [&snap](const std::ostringstream& os) {
+    constexpr std::size_t kMaxDefects = 8;
+    if (snap.placement_defects.size() < kMaxDefects)
+      snap.placement_defects.push_back(os.str());
+  };
+  auto holds = [this](const WorkerRuntime& rt, TaskId t) {
+    if (rt.current == t && (rt.state == WorkerState::kFetching ||
+                            rt.state == WorkerState::kComputing))
+      return true;
+    return std::find(rt.queue.begin(), rt.queue.end(), t) != rt.queue.end();
+  };
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const TaskId t(static_cast<TaskId::underlying_type>(i));
+    for (WorkerId w : instances_[i]) {
+      const WorkerRuntime& rt = workers_[w.value()];
+      if (!holds(rt, t)) {
+        std::ostringstream os;
+        os << "task " << t << " is placed on worker " << w
+           << " but the worker does not hold it (state "
+           << static_cast<int>(rt.state) << ")";
+        defect(os);
+      }
+      if (snap.at_drain) {
+        std::ostringstream os;
+        os << "task " << t << " still placed on worker " << w << " at drain";
+        defect(os);
+      }
+    }
+  }
+  for (const WorkerRuntime& rt : workers_) {
+    const bool running = rt.state == WorkerState::kFetching ||
+                         rt.state == WorkerState::kComputing;
+    if (running && !rt.current.valid()) {
+      std::ostringstream os;
+      os << "worker " << rt.info.id << " is fetching/computing no task";
+      defect(os);
+    }
+    if (running && !has_instance(rt.current, rt.info.id)) {
+      std::ostringstream os;
+      os << "worker " << rt.info.id << " runs task " << rt.current
+         << " without a recorded placement";
+      defect(os);
+    }
+    for (TaskId t : rt.queue) {
+      if (!has_instance(t, rt.info.id)) {
+        std::ostringstream os;
+        os << "worker " << rt.info.id << " queues task " << t
+           << " without a recorded placement";
+        defect(os);
+      }
+    }
+    if (rt.state == WorkerState::kOffline &&
+        (!rt.queue.empty() || rt.current.valid())) {
+      std::ostringstream os;
+      os << "offline worker " << rt.info.id << " still holds work";
+      defect(os);
+    }
+  }
+  return snap;
+}
+
+void GridSimulation::audit_results_ledger(
+    const metrics::RunResult& result) const {
+  audit::ResultsLedgerSnapshot ledger;
+  ledger.makespan_s = result.makespan_s;
+  ledger.max_completion_s = audit_max_completion_;
+  ledger.tasks_completed = result.tasks_completed;
+  ledger.num_tasks = job_.num_tasks();
+  ledger.reported_bytes =
+      result.total_bytes_transferred() + result.bytes_replicated;
+  ledger.delivered_bytes = flows_->bytes_delivered();
+  std::vector<audit::Violation> violations;
+  audit::check_results_ledger(ledger, violations);
+  audit::throw_if_violations("results ledger at end of run",
+                             std::move(violations));
+}
+
 metrics::RunResult GridSimulation::run() {
   WCS_CHECK_MSG(!ran_, "GridSimulation::run() is single-shot");
   ran_ = true;
@@ -357,7 +484,26 @@ metrics::RunResult GridSimulation::run() {
   for (WorkerRuntime& rt : workers_) go_idle(rt.info.id);
   if (config_.churn)
     for (WorkerRuntime& rt : workers_) schedule_failure(rt.info.id);
-  sim_.run();
+
+  if (config_.audit) {
+    auditor_ = std::make_unique<audit::InvariantAuditor>();
+    register_audit_checkers();
+    // Step manually so the checkers sweep the live simulation every
+    // audit_interval_events executed events. The checkers are read-only:
+    // results are byte-identical to the sim_.run() path below.
+    const std::size_t interval =
+        std::max<std::size_t>(1, config_.audit_interval_events);
+    std::size_t next_sweep = sim_.executed_events() + interval;
+    while (sim_.step()) {
+      if (sim_.executed_events() >= next_sweep) {
+        auditor_->check("periodic sweep at t=" + std::to_string(sim_.now()) +
+                        "s");
+        next_sweep = sim_.executed_events() + interval;
+      }
+    }
+  } else {
+    sim_.run();
+  }
 
   WCS_CHECK_MSG(completed_count_ == job_.num_tasks(),
                 "simulation drained with " << completed_count_ << "/"
@@ -394,6 +540,11 @@ metrics::RunResult GridSimulation::run() {
     site.cache_hits = s.cache_hits;
     site.evictions = ds->cache().evictions();
     result.sites.push_back(site);
+  }
+  if (auditor_) {
+    drained_ = true;
+    auditor_->check("end of run");
+    audit_results_ledger(result);
   }
   return result;
 }

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "audit/checkers.h"
+#include "audit/invariant_auditor.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/units.h"
@@ -99,6 +101,10 @@ class GridSimulation final : public sched::GridEngine {
   [[nodiscard]] const metrics::TimelineRecorder* timeline() const {
     return timeline_.get();
   }
+  // Null unless GridConfig::audit was set; populated during run().
+  [[nodiscard]] const audit::InvariantAuditor* auditor() const {
+    return auditor_.get();
+  }
 
  private:
   enum class WorkerState : std::uint8_t {
@@ -132,6 +138,11 @@ class GridSimulation final : public sched::GridEngine {
   void finish_task(WorkerId worker, TaskId task);
   [[nodiscard]] bool has_instance(TaskId task, WorkerId worker) const;
 
+  // --- Invariant auditing (GridConfig::audit) ---------------------------
+  void register_audit_checkers();
+  [[nodiscard]] audit::TaskLifecycleSnapshot lifecycle_snapshot() const;
+  void audit_results_ledger(const metrics::RunResult& result) const;
+
   GridConfig config_;
   const workload::Job& job_;
   std::unique_ptr<sched::Scheduler> scheduler_;
@@ -148,6 +159,13 @@ class GridSimulation final : public sched::GridEngine {
   std::vector<std::vector<WorkerId>> instances_;  // active placements
   std::size_t completed_count_ = 0;
   SimTime last_completion_ = 0;
+  // Audit-side redundant ledgers, maintained unconditionally (cheap) and
+  // cross-checked against the primary counters when auditing is on.
+  std::vector<std::uint32_t> completion_counts_;  // by task id
+  SimTime audit_max_completion_ = 0;
+  std::unique_ptr<audit::InvariantAuditor> auditor_;
+  SimTime audit_prev_now_ = 0;
+  bool drained_ = false;
   std::uint64_t assignments_ = 0;
   std::uint64_t replicas_started_ = 0;
   std::uint64_t replicas_cancelled_ = 0;

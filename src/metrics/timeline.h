@@ -73,7 +73,7 @@ class TimelineRecorder {
  public:
   void record(SimTime time, TimelineEventKind kind, TaskId task,
               WorkerId worker) {
-    WCS_DCHECK(events_.empty() || events_.back().time <= time);
+    if (!events_.empty()) WCS_DCHECK_LE(events_.back().time, time);
     events_.push_back(TimelineEvent{time, kind, task, worker});
   }
 

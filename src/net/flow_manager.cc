@@ -17,7 +17,9 @@ FlowId FlowManager::start_flow(NodeId src, NodeId dst, Bytes bytes,
   Flow f;
   f.id = id;
   f.route = topo_.route(src, dst);  // copy: route cache may rehash
-  f.remaining = static_cast<double>(bytes);
+  f.total = static_cast<double>(bytes);
+  f.remaining = f.total;
+  bytes_started_ += f.total;
   f.on_complete = std::move(on_complete);
   f.last_update = sim_.now();
   SimTime latency = topo_.path_latency(src, dst);
@@ -56,6 +58,7 @@ void FlowManager::complete(FlowId id) {
     for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
   }
   FlowCallback cb = std::move(f.on_complete);
+  bytes_delivered_ += f.total;
   flows_.erase(it);
   ++completed_;
   reallocate();
@@ -76,6 +79,40 @@ bool FlowManager::cancel(FlowId id) {
   ++cancelled_;
   reallocate();
   return true;
+}
+
+audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
+  audit::FlowAuditSnapshot snap;
+  snap.bytes_started = bytes_started_;
+  snap.bytes_delivered = bytes_delivered_;
+  snap.flows_completed = completed_;
+  snap.flows_cancelled = cancelled_;
+
+  snap.links.reserve(topo_.num_links());
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    const Link& link = topo_.link(LinkId(static_cast<LinkId::underlying_type>(l)));
+    audit::LinkUsage usage;
+    usage.name = link.name.empty() ? ("link#" + std::to_string(l)) : link.name;
+    usage.capacity_bps = link.bandwidth_bps;
+    snap.links.push_back(std::move(usage));
+  }
+
+  snap.flows.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    audit::FlowProgress p;
+    p.id = id.value();
+    p.total_bytes = f.total;
+    p.remaining_bytes = f.remaining;
+    p.rate_bps = f.active ? f.rate : 0;
+    p.active = f.active;
+    snap.flows.push_back(p);
+    if (!f.active) continue;
+    for (LinkId lid : f.route) {
+      snap.links[lid.value()].allocated_bps += f.rate;
+      ++snap.links[lid.value()].flows;
+    }
+  }
+  return snap;
 }
 
 double FlowManager::flow_rate(FlowId id) const {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/checkers.h"
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
@@ -49,6 +50,17 @@ class FlowManager {
   [[nodiscard]] std::uint64_t completed_flows() const { return completed_; }
   [[nodiscard]] std::uint64_t cancelled_flows() const { return cancelled_; }
 
+  // Delivery ledger: total payload bytes of flows ever started, and of
+  // flows that ran to completion (a completed flow delivered its full
+  // size by definition). Cancelled flows never enter `bytes_delivered`.
+  [[nodiscard]] double bytes_started() const { return bytes_started_; }
+  [[nodiscard]] double bytes_delivered() const { return bytes_delivered_; }
+
+  // Read-only state snapshot for the invariant auditor: per-link
+  // allocation vs capacity, per-flow byte progress, and the delivery
+  // ledger (audit::check_flow_conservation).
+  [[nodiscard]] audit::FlowAuditSnapshot audit_snapshot() const;
+
   // Bytes carried by each link so far (including partial transfers of
   // cancelled flows).
   [[nodiscard]] double link_bytes(LinkId id) const {
@@ -63,6 +75,7 @@ class FlowManager {
   struct Flow {
     FlowId id;
     Route route;             // empty for same-node transfers
+    double total = 0;        // payload size at start_flow()
     double remaining = 0;    // bytes left (double: fluid model)
     double rate = 0;         // current allocation, bytes/s
     SimTime last_update = 0; // when `remaining` was last settled
@@ -83,6 +96,8 @@ class FlowManager {
   std::uint64_t next_flow_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;
+  double bytes_started_ = 0;
+  double bytes_delivered_ = 0;
   std::vector<double> link_bytes_;
 };
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/invariant_auditor.h"
 #include "common/ids.h"
 #include "common/units.h"
 #include "storage/file_cache.h"
@@ -119,6 +120,14 @@ class Scheduler {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // Component self-audit, driven by the invariant auditor: append
+  // violations of the scheduler's internal bookkeeping (e.g. incremental
+  // indexes that drifted from the cache state). Must be read-only.
+  // Default: a scheduler with no redundant state has nothing to audit.
+  virtual void audit_collect(std::vector<audit::Violation>& out) const {
+    (void)out;
+  }
 
  protected:
   [[nodiscard]] GridEngine& engine() const {

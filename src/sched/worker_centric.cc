@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+
+#include "audit/checkers.h"
 
 namespace wcs::sched {
 
@@ -26,7 +29,12 @@ std::string WorkerCentricScheduler::name() const {
   if (params_.metric == Metric::kCombined &&
       params_.combined_formula == CombinedFormula::kVerbatim)
     n += "~verbatim";
-  if (params_.choose_n >= 2) n += "." + std::to_string(params_.choose_n);
+  if (params_.choose_n >= 2) {
+    // Built as two appends: GCC 12's -Wrestrict false-positives on
+    // `const char* + std::string&&` under -O2 (PR105651).
+    n += '.';
+    n += std::to_string(params_.choose_n);
+  }
   if (params_.replicate_when_idle) n += "+repl";
   return n;
 }
@@ -141,7 +149,7 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
 
 double WorkerCentricScheduler::rest_of(const SiteIndex& idx,
                                        TaskId task) const {
-  WCS_DCHECK(idx.overlap[task.value()] <= task_size_[task.value()]);
+  WCS_DCHECK_LE(idx.overlap[task.value()], task_size_[task.value()]);
   const std::uint32_t missing = missing_of(idx, task);
   return missing == 0 ? kFullOverlapRestWeight
                       : 1.0 / static_cast<double>(missing);
@@ -174,7 +182,7 @@ std::pair<double, double> WorkerCentricScheduler::totals(
 #ifndef NDEBUG
   // Cross-validate against the pre-optimization O(|pending|) scan.
   const auto [scan_ref, scan_rest] = scan_totals(idx);
-  WCS_DCHECK(scan_ref == static_cast<double>(idx.total_ref));
+  WCS_DCHECK_EQ(scan_ref, static_cast<double>(idx.total_ref));
   WCS_DCHECK(std::abs(scan_rest - total_rest) <=
              1e-9 * std::max(1.0, std::abs(scan_rest)));
 #endif
@@ -445,6 +453,61 @@ void WorkerCentricScheduler::feed_starving() {
     remove_pending(task);
     placements_[task.value()].push_back(worker);
     engine().assign_task(task, worker);
+  }
+}
+
+void WorkerCentricScheduler::audit_collect(
+    std::vector<audit::Violation>& out) const {
+  const workload::Job& job = engine().job();
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const SiteId site(static_cast<SiteId::underlying_type>(s));
+    const SiteIndex& idx = sites_[s];
+
+    // Incremental aggregates vs the full scan over pending tasks. Compute
+    // the histogram-derived totals inline (totals() would re-run its own
+    // debug cross-check).
+    double hist_rest = 0;
+    if (!idx.missing_hist.empty() && idx.missing_hist[0] > 0)
+      hist_rest += idx.missing_hist[0] * kFullOverlapRestWeight;
+    for (std::size_t m = 1; m < idx.missing_hist.size(); ++m)
+      if (idx.missing_hist[m] > 0)
+        hist_rest += static_cast<double>(idx.missing_hist[m]) /
+                     static_cast<double>(m);
+    const auto [scan_ref, scan_rest] = scan_totals(idx);
+
+    audit::IndexTotalsSnapshot totals_snap;
+    totals_snap.label = "site " + std::to_string(s);
+    totals_snap.incremental_ref = static_cast<double>(idx.total_ref);
+    totals_snap.incremental_rest = hist_rest;
+    totals_snap.scanned_ref = scan_ref;
+    totals_snap.scanned_rest = scan_rest;
+    audit::check_index_coherence(totals_snap, out);
+
+    // Per-task overlap/ref-sum counters vs a full recompute from the live
+    // cache. O(files resident * tasks per file), the cost build_index()
+    // pays once — affordable at audit-sweep frequency.
+    const storage::FileCache& cache = engine().site_cache(site);
+    std::vector<std::uint32_t> overlap(task_size_.size(), 0);
+    std::vector<std::uint64_t> ref_sum(task_size_.size(), 0);
+    for (FileId f : cache.contents()) {
+      const auto refs = static_cast<std::uint64_t>(cache.ref_count(f));
+      for (TaskId t : tasks_of_file_[f.value()]) {
+        ++overlap[t.value()];
+        ref_sum[t.value()] += refs;
+      }
+    }
+    for (TaskId t : pending_list_) {
+      if (idx.overlap[t.value()] == overlap[t.value()] &&
+          idx.ref_sum[t.value()] == ref_sum[t.value()])
+        continue;
+      std::ostringstream os;
+      os << "site " << s << " task " << t << " index drifted: incremental"
+         << " overlap " << idx.overlap[t.value()] << " / refSum "
+         << idx.ref_sum[t.value()] << " vs recomputed "
+         << overlap[t.value()] << " / " << ref_sum[t.value()]
+         << " (task has " << job.task(t).files.size() << " files)";
+      out.push_back(audit::Violation{"index-coherence", os.str()});
+    }
   }
 }
 

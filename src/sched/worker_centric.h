@@ -85,6 +85,13 @@ class WorkerCentricScheduler final : public Scheduler {
                         const std::vector<TaskId>& lost) override;
   [[nodiscard]] std::string name() const override;
 
+  // Invariant audit: cross-validates every site's incremental aggregates
+  // (total_ref + missing-count histogram) against the O(|pending|) scan,
+  // and the per-task overlap/ref-sum counters against a full recompute
+  // from the live cache contents. This is the auditable promotion of the
+  // debug-only WCS_DCHECK in totals().
+  void audit_collect(std::vector<audit::Violation>& out) const override;
+
   // --- Introspection (tests, examples) ---------------------------------
 
   // CalculateWeight() of a pending task for a requesting worker at `site`,

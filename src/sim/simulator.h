@@ -105,6 +105,31 @@ class Simulator {
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
 
+  // --- Audit introspection ----------------------------------------------
+  // The incrementally-maintained live counter (O(1)), and a full recount
+  // of the per-event lifecycle bytes (O(events ever scheduled)). The
+  // invariant auditor cross-checks one against the other.
+  [[nodiscard]] std::size_t live_events() const { return live_count_; }
+
+  struct EventCounts {
+    std::size_t live = 0;
+    std::size_t cancelled = 0;
+    std::size_t fired = 0;
+    std::uint64_t scheduled = 0;  // events ever scheduled
+  };
+  [[nodiscard]] EventCounts recount_events() const {
+    EventCounts counts;
+    counts.scheduled = next_seq_;
+    for (EventState s : state_) {
+      switch (s) {
+        case EventState::kLive: ++counts.live; break;
+        case EventState::kCancelled: ++counts.cancelled; break;
+        case EventState::kFired: ++counts.fired; break;
+      }
+    }
+    return counts;
+  }
+
  private:
   enum class EventState : std::uint8_t { kLive, kCancelled, kFired };
 

@@ -70,7 +70,8 @@ void DataServer::continue_batch() {
 void DataServer::on_file_arrived(FileId file) {
   WCS_CHECK(current_ != nullptr);
   Batch& b = *current_;
-  WCS_CHECK(b.next_index < b.files.size() && b.files[b.next_index] == file);
+  WCS_CHECK_LT(b.next_index, b.files.size());
+  WCS_CHECK_EQ(b.files[b.next_index], file);
   b.in_flight = FlowId::invalid();
   ++stats_.file_transfers;
   stats_.bytes_transferred += static_cast<double>(catalog_.size(file));

@@ -1,6 +1,8 @@
 #include "storage/file_cache.h"
 
 #include <limits>
+#include <sstream>
+#include <utility>
 
 namespace wcs::storage {
 
@@ -93,6 +95,41 @@ bool FileCache::pinned(FileId f) const {
   auto it = entries_.find(f);
   WCS_CHECK_MSG(it != entries_.end(), "pinned() on absent file " << f);
   return it->second.pin_count > 0;
+}
+
+audit::CacheAuditSnapshot FileCache::audit_snapshot(std::string label) const {
+  audit::CacheAuditSnapshot snap;
+  snap.label = std::move(label);
+  snap.occupancy = entries_.size();
+  snap.capacity = capacity_;
+  for (const auto& [f, e] : entries_)
+    if (e.pin_count > 0) ++snap.pinned;
+
+  // Structural soundness of the eviction order: order_ and entries_ must
+  // describe the same resident set, and every entry's stored position
+  // must round-trip (all three policies keep order_ populated; MinRef
+  // merely ignores it when choosing a victim).
+  if (order_.size() != entries_.size()) {
+    std::ostringstream os;
+    os << "eviction order holds " << order_.size() << " files but "
+       << entries_.size() << " are resident";
+    snap.structural.push_back(os.str());
+  }
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    auto entry = entries_.find(*it);
+    if (entry == entries_.end()) {
+      std::ostringstream os;
+      os << "file " << *it << " is in the eviction order but not resident";
+      snap.structural.push_back(os.str());
+      continue;
+    }
+    if (entry->second.order_it != it) {
+      std::ostringstream os;
+      os << "file " << *it << " order position does not round-trip";
+      snap.structural.push_back(os.str());
+    }
+  }
+  return snap;
 }
 
 std::vector<FileId> FileCache::contents() const {

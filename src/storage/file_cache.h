@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "audit/checkers.h"
 #include "common/check.h"
 #include "common/ids.h"
 
@@ -90,6 +92,13 @@ class FileCache {
 
   // Snapshot of resident file ids (unspecified order).
   [[nodiscard]] std::vector<FileId> contents() const;
+
+  // Read-only state snapshot for the invariant auditor: occupancy vs
+  // capacity, pin counts, and structural soundness of the eviction
+  // order (order_ <-> entries_ round-trip). `label` names this cache in
+  // violation reports (audit::check_cache_coherence).
+  [[nodiscard]] audit::CacheAuditSnapshot audit_snapshot(
+      std::string label) const;
 
   // At most one listener; pass nullptr-like (default constructed) to
   // clear. Fired synchronously on every mutation.

@@ -36,12 +36,14 @@ TEST(TimelineRecorder, SpanPhases) {
 
 TEST(TimelineRecorder, CancelledInstancesProduceNoSpan) {
   TimelineRecorder rec;
+  // Two concurrent instances, recorded in simulated-time order (the
+  // recorder asserts monotonic timestamps): worker 0's is cancelled at
+  // t=3, the winning replica on worker 1 completes at t=5.
   rec.record(1, TimelineEventKind::kAssigned, TaskId(0), WorkerId(0));
-  rec.record(2, TimelineEventKind::kFetchStart, TaskId(0), WorkerId(0));
-  rec.record(3, TimelineEventKind::kCancelled, TaskId(0), WorkerId(0));
-  // The winning replica on another worker completes.
   rec.record(1, TimelineEventKind::kAssigned, TaskId(0), WorkerId(1));
+  rec.record(2, TimelineEventKind::kFetchStart, TaskId(0), WorkerId(0));
   rec.record(2, TimelineEventKind::kFetchStart, TaskId(0), WorkerId(1));
+  rec.record(3, TimelineEventKind::kCancelled, TaskId(0), WorkerId(0));
   rec.record(4, TimelineEventKind::kExecStart, TaskId(0), WorkerId(1));
   rec.record(5, TimelineEventKind::kCompleted, TaskId(0), WorkerId(1));
   auto spans = rec.completed_spans();

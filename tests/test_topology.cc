@@ -98,7 +98,7 @@ TEST(Topology, UnreachableThrows) {
   NodeId b = t.add_node("b");
   (void)b;
   Topology t2 = std::move(t);  // silence unused warnings simply
-  EXPECT_THROW(t2.route(a, NodeId(1)), std::logic_error);
+  EXPECT_THROW((void)t2.route(a, NodeId(1)), std::logic_error);
   EXPECT_FALSE(t2.connected());
 }
 
@@ -167,7 +167,7 @@ TEST(Tiers, SameSeedIsDeterministic) {
   GridTopology a = build_tiers_topology(p);
   GridTopology b = build_tiers_topology(p);
   ASSERT_EQ(a.topology.num_links(), b.topology.num_links());
-  for (std::size_t l = 0; l < a.topology.num_links(); ++l) {
+  for (LinkId::underlying_type l = 0; l < a.topology.num_links(); ++l) {
     EXPECT_DOUBLE_EQ(a.topology.link(LinkId(l)).bandwidth_bps,
                      b.topology.link(LinkId(l)).bandwidth_bps);
     EXPECT_DOUBLE_EQ(a.topology.link(LinkId(l)).latency_s,

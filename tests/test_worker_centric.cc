@@ -372,10 +372,11 @@ TEST_P(IndexConsistency, IncrementalMatchesNaiveUnderChurn) {
     if (step % 10 == 0) {
       for (unsigned s = 0; s < 2; ++s)
         for (const auto& t : job.tasks)
-          if (sched.is_pending(t.id))
+          if (sched.is_pending(t.id)) {
             ASSERT_NEAR(sched.weight(SiteId(s), t.id),
                         sched.naive_weight(SiteId(s), t.id), 1e-9)
                 << "metric=" << to_string(metric) << " step=" << step;
+          }
     }
     if (step == 150) {
       // Retire a task mid-stream; the index must stay consistent.

@@ -304,7 +304,7 @@ TEST(Trace, RoundTripPreservesJob) {
     EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
     EXPECT_DOUBLE_EQ(a.tasks[i].mflop, b.tasks[i].mflop);
   }
-  for (std::size_t f = 0; f < a.catalog.num_files(); ++f)
+  for (FileId::underlying_type f = 0; f < a.catalog.num_files(); ++f)
     EXPECT_EQ(a.catalog.size(FileId(f)), b.catalog.size(FileId(f)));
 }
 
