@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
             << std::setw(16) << "workqueue" << std::setw(16) << "xsufferage"
             << std::setw(16) << "rest.2" << '\n';
 
+  std::vector<bench::SweepPoint> points;
   for (double error : {0.0, 1.0, 3.0, 9.0}) {
     grid::GridConfig c = bench::paper_config(opt);
     c.estimate_error = error;
@@ -41,16 +42,29 @@ int main(int argc, char** argv) {
       label += std::to_string(1.0 + error).substr(0, 4);
     }
     std::cout << std::left << std::setw(22) << label;
+    bench::SweepPoint pt;
+    pt.x = error;
+    pt.x_label = label;
     for (const auto& spec : {wq, xs, rest2}) {
+      auto runs = grid::run_seeds(c, job, spec, seeds, opt.jobs);
       double makespan = 0;
-      for (const auto& r : grid::run_seeds(c, job, spec, seeds, opt.jobs))
+      for (const auto& r : runs)
         makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
+      pt.rows.push_back(metrics::average(runs));
       std::cout << std::right << std::fixed << std::setprecision(0)
                 << std::setw(16) << makespan;
       bench::progress(spec.name() + " @ error " + std::to_string(error));
     }
     std::cout << '\n';
+    pt.wall_seconds = bench::elapsed_s(opt);
+    points.push_back(std::move(pt));
   }
+
+  auto phases =
+      bench::trace_representative_run(opt, bench::paper_config(opt), job);
+  bench::write_report("Ablation A4: baselines vs estimate quality",
+                      "estimate_error", "makespan (minutes)", points, opt,
+                      phases ? &*phases : nullptr);
 
   std::cout << "\nreading: workqueue and rest.2 never read estimates "
                "(columns constant).\nxsufferage tolerates static per-site "

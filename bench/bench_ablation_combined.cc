@@ -50,5 +50,14 @@ int main(int argc, char** argv) {
     for (const auto& r : rows)
       csv.row(r.scheduler, r.makespan_minutes, r.transfers_per_site);
   }
+
+  bench::SweepPoint pt;
+  pt.x_label = "table1-defaults";
+  pt.wall_seconds = bench::elapsed_s(opt);
+  pt.rows = rows;
+  auto phases = bench::trace_representative_run(opt, c, job);
+  bench::write_report("Ablation A1: combined formula, prose vs verbatim",
+                      "config", "makespan (minutes)", {pt}, opt,
+                      phases ? &*phases : nullptr);
   return 0;
 }

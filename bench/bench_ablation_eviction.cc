@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   sa.algorithm = sched::Algorithm::kStorageAffinity;
   specs = {rest, sa};
 
+  std::vector<bench::SweepPoint> points;
   for (std::size_t cap : {3000u, 6000u}) {
     for (auto policy :
          {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
@@ -39,7 +40,20 @@ int main(int argc, char** argv) {
                             storage::to_string(policy) + ", capacity " +
                             std::to_string(cap),
                         rows);
+      bench::SweepPoint pt;
+      pt.x = static_cast<double>(cap);
+      pt.x_label =
+          std::string(storage::to_string(policy)) + "@" + std::to_string(cap);
+      pt.wall_seconds = bench::elapsed_s(opt);
+      pt.rows = std::move(rows);
+      points.push_back(std::move(pt));
     }
   }
+
+  auto phases =
+      bench::trace_representative_run(opt, bench::paper_config(opt), job);
+  bench::write_report("Ablation A3: eviction policy x capacity",
+                      "policy@capacity", "makespan (minutes)", points, opt,
+                      phases ? &*phases : nullptr);
   return 0;
 }

@@ -38,11 +38,16 @@ int main(int argc, char** argv) {
                                         << s.name();
   std::cout << std::right << std::setw(14) << "failures" << '\n';
 
+  std::vector<bench::SweepPoint> points;
   for (double up_h : uptimes_h) {
     std::cout << std::left << std::setw(22)
               << (up_h == 0 ? std::string("none")
                             : std::to_string(static_cast<int>(up_h)) + " h");
     double failures = 0;
+    bench::SweepPoint pt;
+    pt.x = up_h;
+    pt.x_label = up_h == 0 ? std::string("none")
+                           : std::to_string(static_cast<int>(up_h)) + "h";
     for (const auto& spec : specs) {
       grid::GridConfig c = bench::paper_config(opt);
       if (up_h > 0) {
@@ -51,19 +56,29 @@ int main(int argc, char** argv) {
         churn.mean_downtime_s = hours(up_h) / 6.0;
         c.churn = churn;
       }
+      auto runs = grid::run_seeds(c, job, spec, seeds, opt.jobs);
       double makespan = 0;
-      for (const auto& r : grid::run_seeds(c, job, spec, seeds, opt.jobs)) {
+      for (const auto& r : runs) {
         makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
         failures += static_cast<double>(r.worker_failures) /
                     static_cast<double>(seeds.size() * specs.size());
       }
+      pt.rows.push_back(metrics::average(runs));
       std::cout << std::right << std::setw(22) << std::fixed
                 << std::setprecision(0) << makespan;
       bench::progress(spec.name() + " @ uptime " + std::to_string(up_h));
     }
     std::cout << std::right << std::setw(14) << std::setprecision(1)
               << failures << '\n';
+    pt.wall_seconds = bench::elapsed_s(opt);
+    points.push_back(std::move(pt));
   }
+
+  auto phases =
+      bench::trace_representative_run(opt, bench::paper_config(opt), job);
+  bench::write_report("Extension E2: makespan under worker churn",
+                      "mean_uptime_h", "makespan (minutes)", points, opt,
+                      phases ? &*phases : nullptr);
 
   std::cout << "\nreading: pull scheduling degrades gracefully; the "
                "task-centric baseline pays\nmore per crash (whole queues "

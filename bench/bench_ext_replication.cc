@@ -51,7 +51,9 @@ int main(int argc, char** argv) {
             << "transfers/site" << std::setw(16) << "repl. files"
             << std::setw(14) << "replicas" << '\n';
 
-  for (const Variant& v : variants) {
+  std::vector<bench::SweepPoint> points;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
     grid::GridConfig c = bench::paper_config(opt);
     if (v.data_replication) {
       replication::DataReplicatorParams rp;
@@ -75,7 +77,22 @@ int main(int argc, char** argv) {
               << transfers << std::setprecision(0) << std::setw(16)
               << repl_files << std::setw(14) << replicas << '\n';
     bench::progress(v.label + " done");
+
+    metrics::AveragedResult avg = metrics::average(runs);
+    avg.scheduler = v.label;  // distinguish ±replication variants
+    bench::SweepPoint pt;
+    pt.x = static_cast<double>(i);
+    pt.x_label = v.label;
+    pt.wall_seconds = bench::elapsed_s(opt);
+    pt.rows.push_back(std::move(avg));
+    points.push_back(std::move(pt));
   }
+
+  auto phases =
+      bench::trace_representative_run(opt, bench::paper_config(opt), job);
+  bench::write_report("Extension E1: replication mechanisms", "variant",
+                      "makespan (minutes)", points, opt,
+                      phases ? &*phases : nullptr);
 
   std::cout << "\nreading: data replication should recover a chunk of "
                "storage affinity's gap;\nfor rest.2 both mechanisms should "

@@ -30,14 +30,18 @@ int main(int argc, char** argv) {
     pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
       bench::progress("capacity " + pt.x_label + ": " + s);
     }, opt.jobs);
+    pt.wall_seconds = bench::elapsed_s(opt);
     points.push_back(std::move(pt));
   }
 
+  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
+                                                job);
   bench::emit_series("Figure 4: makespan vs data-server capacity",
                      "capacity_files", points,
                      [](const metrics::AveragedResult& r) {
                        return r.makespan_minutes;
                      },
-                     "makespan (minutes)", opt);
+                     "makespan (minutes)", opt,
+                     phases ? &*phases : nullptr);
   return 0;
 }

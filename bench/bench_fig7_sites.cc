@@ -28,14 +28,18 @@ int main(int argc, char** argv) {
     pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
       bench::progress(pt.x_label + " sites: " + s);
     }, opt.jobs);
+    pt.wall_seconds = bench::elapsed_s(opt);
     points.push_back(std::move(pt));
   }
 
+  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
+                                                job);
   bench::emit_series("Figure 7: makespan vs number of sites", "num_sites",
                      points,
                      [](const metrics::AveragedResult& r) {
                        return r.makespan_minutes;
                      },
-                     "makespan (minutes)", opt);
+                     "makespan (minutes)", opt,
+                     phases ? &*phases : nullptr);
   return 0;
 }

@@ -27,13 +27,17 @@ int main(int argc, char** argv) {
     pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
       bench::progress(pt.x_label + ": " + s);
     }, opt.jobs);
+    pt.wall_seconds = bench::elapsed_s(opt);
     points.push_back(std::move(pt));
   }
 
+  auto phases = bench::trace_representative_run(
+      opt, bench::paper_config(opt), bench::paper_workload(opt));
   bench::emit_series("Figure 8: makespan vs file size", "file_size", points,
                      [](const metrics::AveragedResult& r) {
                        return r.makespan_minutes;
                      },
-                     "makespan (minutes)", opt);
+                     "makespan (minutes)", opt,
+                     phases ? &*phases : nullptr);
   return 0;
 }

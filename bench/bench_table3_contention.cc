@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
             << '\n';
 
   std::vector<std::array<double, 4>> rows;
+  std::vector<bench::SweepPoint> points;
   for (int workers : {2, 4, 6, 8}) {
     grid::GridConfig c = bench::paper_config(opt);
     c.tiers.workers_per_site = workers;
@@ -39,6 +40,12 @@ int main(int argc, char** argv) {
               << std::setprecision(1) << avg.transfers_per_site << '\n';
     rows.push_back({static_cast<double>(workers), avg.waiting_hours_per_site,
                     avg.transfer_hours_per_site, avg.transfers_per_site});
+    bench::SweepPoint pt;
+    pt.x = workers;
+    pt.x_label = std::to_string(workers) + " workers";
+    pt.wall_seconds = bench::elapsed_s(opt);
+    pt.rows.push_back(std::move(avg));
+    points.push_back(std::move(pt));
   }
 
   if (opt.csv_path) {
@@ -47,5 +54,11 @@ int main(int argc, char** argv) {
                 "file_transfers"});
     for (const auto& r : rows) csv.row(r[0], r[1], r[2], r[3]);
   }
+
+  auto phases =
+      bench::trace_representative_run(opt, bench::paper_config(opt), job);
+  bench::write_report("Table 3: rest metric per-site contention",
+                      "workers_per_site", "waiting (hours)", points, opt,
+                      phases ? &*phases : nullptr);
   return 0;
 }

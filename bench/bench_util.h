@@ -12,12 +12,17 @@
 //   --fast         1500 tasks, 2 seeds (quick shape check)
 //   --audit        run every simulation with the invariant auditor on
 //                  (src/audit); read-only checkers, identical output
+//   --report PATH  write the machine-readable run report here (default
+//                  results/<bench>.json; --no-report disables)
+//   --trace-out P  additionally run one representative simulation with
+//                  full observability and dump its Chrome trace to P
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1
 // implies --audit (see audit::default_enabled()).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +35,7 @@
 #include "common/csv.h"
 #include "common/thread_pool.h"
 #include "grid/experiment.h"
+#include "obs/run_report.h"
 #include "workload/coadd.h"
 
 namespace wcs::bench {
@@ -41,6 +47,11 @@ struct BenchOptions {
   std::optional<std::string> csv_path;
   bool fast = false;
   bool audit = false;
+  std::string bench_name = "bench";        // argv[0] basename
+  std::optional<std::string> report_path;  // none = reporting disabled
+  std::optional<std::string> trace_out;    // Chrome trace destination
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
 
   [[nodiscard]] std::vector<std::uint64_t> topology_seeds() const {
     std::vector<std::uint64_t> s;
@@ -49,8 +60,24 @@ struct BenchOptions {
   }
 };
 
+// Host seconds since parse_options(); stamps report sweep points, so
+// successive points are monotone by construction.
+[[nodiscard]] inline double elapsed_s(const BenchOptions& opt) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       opt.started)
+      .count();
+}
+
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
+  if (argc > 0 && argv[0] && *argv[0]) {
+    std::string self = argv[0];
+    std::size_t slash = self.find_last_of('/');
+    opt.bench_name =
+        slash == std::string::npos ? self : self.substr(slash + 1);
+  }
+  opt.report_path = "results/" + opt.bench_name + ".json";
+  bool no_report = false;
   if (const char* env = std::getenv("WCS_BENCH_FAST"); env && *env == '1')
     opt.fast = true;
   if (const char* env = std::getenv("WCS_BENCH_JOBS"); env && *env)
@@ -76,9 +103,16 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.fast = true;
     } else if (arg == "--audit") {
       opt.audit = true;
+    } else if (arg == "--report") {
+      opt.report_path = next();
+    } else if (arg == "--no-report") {
+      no_report = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --tasks N --seeds K --jobs N --csv PATH "
-                   "--fast --audit\n";
+                   "--fast --audit --report PATH --no-report "
+                   "--trace-out PATH\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option " << arg << '\n';
@@ -98,6 +132,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
     opt.tasks = std::min<std::size_t>(opt.tasks, 1500);
     opt.seeds = std::min<std::size_t>(opt.seeds, 2);
   }
+  if (no_report) opt.report_path.reset();
   return opt;
 }
 
@@ -127,6 +162,9 @@ inline grid::GridConfig paper_config(const BenchOptions& opt) {
 struct SweepPoint {
   double x = 0;
   std::string x_label;
+  // Stamp with elapsed_s(opt) when the point finishes (feeds the run
+  // report; reports with a zero wall clock still validate).
+  double wall_seconds = 0;
   std::vector<metrics::AveragedResult> rows;
 };
 
@@ -134,13 +172,71 @@ inline void progress(const std::string& what) {
   std::cerr << "  [" << what << "]\n";
 }
 
+// --trace-out support: run ONE representative simulation (first paper
+// algorithm, seed 1) with full observability and dump its Chrome trace.
+// Kept out of the parallel sweep so concurrent runs never share a trace
+// file. Returns a copy of the run's phase profile for the run report.
+inline std::optional<obs::PhaseProfiler> trace_representative_run(
+    const BenchOptions& opt, grid::GridConfig config,
+    const workload::Job& job) {
+  if (!opt.trace_out) return std::nullopt;
+  config.obs = obs::Options::all();
+  config.obs.trace_path = *opt.trace_out;
+  config.tiers.seed = 1;
+  sched::SchedulerSpec spec = sched::SchedulerSpec::paper_algorithms().front();
+  progress("traced run: " + spec.name());
+  grid::GridSimulation sim(config, job, sched::make_scheduler(spec));
+  (void)sim.run();
+  std::cout << "\nChrome trace written to " << *opt.trace_out << '\n';
+  return *sim.observability()->profiler();
+}
+
+// Writes the machine-readable run report (obs::RunReport schema v1) to
+// opt.report_path, no-op when reporting is disabled. `phases` is the
+// optional profile of a traced representative run. Benches with custom
+// console output call this directly; figure benches get it via
+// emit_series().
+inline void write_report(const std::string& title, const std::string& x_name,
+                         const std::string& metric_name,
+                         const std::vector<SweepPoint>& points,
+                         const BenchOptions& opt,
+                         const obs::PhaseProfiler* phases = nullptr) {
+  if (!opt.report_path) return;
+  obs::RunReport report;
+  report.bench = opt.bench_name;
+  report.title = title;
+  report.x_axis = x_name;
+  report.metric = metric_name;
+  report.config.tasks = opt.tasks;
+  report.config.seeds = opt.seeds;
+  report.config.jobs = opt.jobs;
+  report.config.fast = opt.fast;
+  report.config.audit = opt.audit;
+  report.config.trace = opt.trace_out.has_value();
+  for (const SweepPoint& pt : points) {
+    obs::ReportPoint rp;
+    rp.x = pt.x;
+    rp.x_label = pt.x_label;
+    rp.wall_seconds = pt.wall_seconds;
+    for (const auto& r : pt.rows) rp.rows.push_back(obs::ReportRow::from(r));
+    report.points.push_back(std::move(rp));
+  }
+  report.total_wall_seconds = elapsed_s(opt);
+  report.phases = phases;
+  report.write(*opt.report_path);
+  std::cout << "Run report written to " << *opt.report_path << '\n';
+}
+
 // Prints the standard figure output: per-point tables, then the series
-// ("x  algo1 algo2 ...") for the headline metric, and optional CSV.
+// ("x  algo1 algo2 ...") for the headline metric, optional CSV, and the
+// machine-readable run report (obs::RunReport schema v1). `phases` is
+// the optional profile of a traced representative run.
 inline void emit_series(
     const std::string& title, const std::string& x_name,
     const std::vector<SweepPoint>& points,
     const std::function<double(const metrics::AveragedResult&)>& metric,
-    const std::string& metric_name, const BenchOptions& opt) {
+    const std::string& metric_name, const BenchOptions& opt,
+    const obs::PhaseProfiler* phases = nullptr) {
   for (const SweepPoint& pt : points)
     grid::print_table(std::cout, title + " — " + x_name + " = " + pt.x_label,
                       pt.rows);
@@ -169,6 +265,8 @@ inline void emit_series(
                 r.transfer_hours_per_site, r.replicas_started);
     std::cout << "\nCSV written to " << *opt.csv_path << '\n';
   }
+
+  write_report(title, x_name, metric_name, points, opt, phases);
 }
 
 }  // namespace wcs::bench

@@ -14,7 +14,7 @@ if ! command -v "$FORMAT" >/dev/null 2>&1; then
   exit 0
 fi
 
-mapfile -t SOURCES < <(find src tests bench examples \
+mapfile -t SOURCES < <(find src tests bench examples tools \
   \( -name '*.cc' -o -name '*.h' \) | sort)
 
 if [[ "${1:-}" == "--fix" ]]; then

@@ -10,7 +10,8 @@
 # Independent (algorithm, topology-seed) runs are fanned out over worker
 # threads; the default is all hardware threads and the output is
 # bit-identical at any --jobs level. Outputs land in results/: one .txt
-# per bench plus CSV series.
+# per bench, CSV series, and a schema-versioned JSON run report per bench
+# (results/bench_<name>.json, validated by tools/report_lint at the end).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,11 +37,20 @@ for bench in build/bench/bench_*; do
   name=$(basename "$bench")
   echo "=== $name ==="
   if [[ "$name" == "bench_micro" ]]; then
-    "$bench" | tee "results/$name.txt"
+    # google-benchmark JSON, distinct from the run-report schema files.
+    "$bench" --benchmark_out="results/$name.gbench.json" \
+      --benchmark_out_format=json | tee "results/$name.txt"
   else
     "$bench" $FAST_FLAG $AUDIT_FLAG "${JOBS_FLAGS[@]}" \
       --csv "results/$name.csv" | tee "results/$name.txt"
   fi
 done
+
+echo "=== report_lint ==="
+REPORTS=()
+for report in results/bench_*.json; do
+  [[ "$report" == *.gbench.json ]] || REPORTS+=("$report")
+done
+build/tools/report_lint "${REPORTS[@]}"
 
 echo "done — see results/"

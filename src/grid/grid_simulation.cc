@@ -85,6 +85,18 @@ GridSimulation::GridSimulation(const GridConfig& config,
   completion_counts_.assign(job_.num_tasks(), 0);
   if (config_.record_timeline)
     timeline_ = std::make_unique<metrics::TimelineRecorder>();
+
+  if (config_.obs.any()) {
+    obs_ = std::make_unique<obs::Observability>(config_.obs);
+    tracer_ = obs_->tracer();
+    sim_.set_profiler(obs_->profiler());
+    flows_->set_observability(obs_.get());
+    scheduler_->set_profiler(obs_->profiler());
+    for (const auto& ds : data_servers_)
+      ds->cache().set_obs(obs_->profiler(), tracer_,
+                          [this] { return sim_.now(); },
+                          ds->site().value());
+  }
 }
 
 GridSimulation::~GridSimulation() = default;
@@ -354,6 +366,74 @@ void GridSimulation::go_idle(WorkerId worker) {
   });
 }
 
+void GridSimulation::obs_trace(metrics::TimelineEventKind kind, TaskId task,
+                               WorkerId worker) {
+  WorkerRuntime& rt = workers_[worker.value()];
+  obs::TraceSpan span;
+  span.start = sim_.now();
+  span.track = worker.value();
+  span.task = task;
+  switch (kind) {
+    case metrics::TimelineEventKind::kAssigned:
+      span.kind = obs::SpanKind::kAssign;
+      break;
+    case metrics::TimelineEventKind::kFetchStart:
+      // Opens the fetch span; closed (and recorded) at exec-start.
+      rt.fetch_started = sim_.now();
+      return;
+    case metrics::TimelineEventKind::kExecStart:
+      span.kind = obs::SpanKind::kFetch;
+      span.start = rt.fetch_started;
+      span.duration_s = sim_.now() - rt.fetch_started;
+      rt.exec_started = sim_.now();
+      break;
+    case metrics::TimelineEventKind::kCompleted: {
+      obs::TraceSpan compute;
+      compute.start = rt.exec_started;
+      compute.duration_s = sim_.now() - rt.exec_started;
+      compute.kind = obs::SpanKind::kCompute;
+      compute.track = worker.value();
+      compute.task = task;
+      tracer_->record(compute);
+      span.kind = obs::SpanKind::kComplete;
+      break;
+    }
+    case metrics::TimelineEventKind::kCancelled:
+      span.kind = obs::SpanKind::kCancelled;
+      break;
+    case metrics::TimelineEventKind::kWorkerFailed:
+      span.kind = obs::SpanKind::kWorkerFailed;
+      break;
+    case metrics::TimelineEventKind::kWorkerRecovered:
+      span.kind = obs::SpanKind::kWorkerRecovered;
+      break;
+  }
+  tracer_->record(span);
+}
+
+void GridSimulation::populate_registry(const metrics::RunResult& result) {
+  obs::MetricsRegistry& reg = *obs_->metrics();
+  reg.counter("engine.assignments").add(assignments_);
+  reg.counter("engine.replicas_started").add(replicas_started_);
+  reg.counter("engine.replicas_cancelled").add(replicas_cancelled_);
+  reg.counter("engine.tasks_completed").add(completed_count_);
+  reg.counter("engine.worker_failures").add(failures_);
+  reg.counter("engine.worker_recoveries").add(recoveries_);
+  reg.counter("engine.instances_lost").add(instances_lost_);
+  reg.gauge("engine.makespan_s").set(result.makespan_s);
+  reg.counter("sim.events_executed").add(sim_.executed_events());
+  reg.gauge("sim.peak_live_events")
+      .set(static_cast<double>(sim_.peak_live_events()));
+  reg.counter("net.flows_completed").add(flows_->completed_flows());
+  reg.counter("net.flows_cancelled").add(flows_->cancelled_flows());
+  reg.gauge("net.bytes_delivered").set(flows_->bytes_delivered());
+  reg.counter("storage.file_transfers").add(result.total_file_transfers());
+  reg.counter("storage.cache_hits").add(result.total_cache_hits());
+  reg.counter("storage.evictions").add(result.total_evictions());
+  reg.gauge("storage.bytes_transferred")
+      .set(result.total_bytes_transferred());
+}
+
 void GridSimulation::register_audit_checkers() {
   auditor_->add_checker("flow-conservation", [this](auto& out) {
     audit::check_flow_conservation(flows_->audit_snapshot(), out);
@@ -545,6 +625,11 @@ metrics::RunResult GridSimulation::run() {
     drained_ = true;
     auditor_->check("end of run");
     audit_results_ledger(result);
+  }
+  if (obs_) {
+    obs::ScopedPhase phase(obs_->profiler(), obs::Phase::kReporting);
+    if (obs_->metrics()) populate_registry(result);
+    obs_->finish();
   }
   return result;
 }

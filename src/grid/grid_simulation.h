@@ -42,6 +42,7 @@
 #include "metrics/timeline.h"
 #include "net/flow_manager.h"
 #include "net/tiers.h"
+#include "obs/observability.h"
 #include "replication/data_replicator.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
@@ -105,6 +106,12 @@ class GridSimulation final : public sched::GridEngine {
   [[nodiscard]] const audit::InvariantAuditor* auditor() const {
     return auditor_.get();
   }
+  // Null unless GridConfig::obs enables an instrument. The registry is
+  // populated with end-of-run totals by run(); the tracer fills as the
+  // simulation progresses.
+  [[nodiscard]] const obs::Observability* observability() const {
+    return obs_.get();
+  }
 
  private:
   enum class WorkerState : std::uint8_t {
@@ -123,12 +130,21 @@ class GridSimulation final : public sched::GridEngine {
     EventId compute_event;
     EventId churn_event;          // next failure or recovery
     SimTime control_latency = 0;  // one-way worker <-> scheduler
+    SimTime fetch_started = 0;    // obs only: current fetch span start
+    SimTime exec_started = 0;     // obs only: current compute span start
   };
 
   void go_idle(WorkerId worker);
   void trace(metrics::TimelineEventKind kind, TaskId task, WorkerId worker) {
     if (timeline_) timeline_->record(sim_.now(), kind, task, worker);
+    if (tracer_) obs_trace(kind, task, worker);
   }
+  // Map a lifecycle transition onto obs trace spans (assign/complete/...
+  // instants; fetch and compute become [start, now] spans closed here).
+  void obs_trace(metrics::TimelineEventKind kind, TaskId task,
+                 WorkerId worker);
+  // End-of-run counter/gauge totals for the metrics registry.
+  void populate_registry(const metrics::RunResult& result);
   void fail_worker(WorkerId worker);
   void recover_worker(WorkerId worker);
   void schedule_failure(WorkerId worker);
@@ -153,6 +169,8 @@ class GridSimulation final : public sched::GridEngine {
   std::vector<std::unique_ptr<storage::DataServer>> data_servers_;
   std::unique_ptr<replication::DataReplicator> replicator_;
   std::unique_ptr<metrics::TimelineRecorder> timeline_;
+  std::unique_ptr<obs::Observability> obs_;
+  obs::EventTracer* tracer_ = nullptr;  // cached obs_->tracer()
   std::vector<WorkerRuntime> workers_;
 
   std::vector<char> completed_;  // by task id

@@ -11,6 +11,20 @@ namespace {
 constexpr double kEpsilonBytes = 1e-6;
 }  // namespace
 
+void FlowManager::set_observability(obs::Observability* o) {
+  tracer_ = o ? o->tracer() : nullptr;
+  profiler_ = o ? o->profiler() : nullptr;
+  if (o && o->metrics()) {
+    realloc_counter_ = &o->metrics()->counter("net.reallocations");
+    // Flow wall time in simulated seconds: WAN transfers of multi-GB
+    // files land in the minutes-to-hours range.
+    flow_seconds_ = &o->metrics()->histogram("net.flow_seconds", 0, 7200, 72);
+  } else {
+    realloc_counter_ = nullptr;
+    flow_seconds_ = nullptr;
+  }
+}
+
 FlowId FlowManager::start_flow(NodeId src, NodeId dst, Bytes bytes,
                                FlowCallback on_complete) {
   FlowId id(next_flow_++);
@@ -21,7 +35,9 @@ FlowId FlowManager::start_flow(NodeId src, NodeId dst, Bytes bytes,
   f.remaining = f.total;
   bytes_started_ += f.total;
   f.on_complete = std::move(on_complete);
+  f.started = sim_.now();
   f.last_update = sim_.now();
+  f.dst = dst;
   SimTime latency = topo_.path_latency(src, dst);
   auto [it, ok] = flows_.emplace(id, std::move(f));
   WCS_CHECK(ok);
@@ -59,6 +75,17 @@ void FlowManager::complete(FlowId id) {
   }
   FlowCallback cb = std::move(f.on_complete);
   bytes_delivered_ += f.total;
+  const SimTime elapsed = sim_.now() - f.started;
+  if (flow_seconds_) flow_seconds_->add(elapsed);
+  if (tracer_) {
+    obs::TraceSpan span;
+    span.start = f.started;
+    span.duration_s = elapsed;
+    span.kind = obs::SpanKind::kTransfer;
+    span.track = f.dst.valid() ? f.dst.value() : 0;
+    span.bytes = f.total;
+    tracer_->record(span);
+  }
   flows_.erase(it);
   ++completed_;
   reallocate();
@@ -122,6 +149,8 @@ double FlowManager::flow_rate(FlowId id) const {
 }
 
 void FlowManager::reallocate() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kFlowReallocation);
+  if (realloc_counter_) realloc_counter_->add();
   const SimTime now = sim_.now();
 
   // 1. Settle every active flow's progress at its old rate.

@@ -21,6 +21,7 @@
 #include "common/ids.h"
 #include "common/units.h"
 #include "net/topology.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace wcs::net {
@@ -35,6 +36,10 @@ class FlowManager {
 
   FlowManager(const FlowManager&) = delete;
   FlowManager& operator=(const FlowManager&) = delete;
+
+  // Attach instruments (nullptr detaches). Read-only: tracing a transfer
+  // or timing a reallocation never changes rates, order, or events.
+  void set_observability(obs::Observability* o);
 
   // Start a transfer of `bytes` from src to dst; `on_complete` fires when
   // the last byte arrives. Zero-byte flows complete after path latency.
@@ -78,7 +83,9 @@ class FlowManager {
     double total = 0;        // payload size at start_flow()
     double remaining = 0;    // bytes left (double: fluid model)
     double rate = 0;         // current allocation, bytes/s
+    SimTime started = 0;     // when start_flow() was called
     SimTime last_update = 0; // when `remaining` was last settled
+    NodeId dst;              // receiving node (trace track)
     bool active = false;     // false during the latency phase
     EventId pending_event;   // activation or completion event
     FlowCallback on_complete;
@@ -99,6 +106,12 @@ class FlowManager {
   double bytes_started_ = 0;
   double bytes_delivered_ = 0;
   std::vector<double> link_bytes_;
+
+  // Observability (all null when disabled).
+  obs::EventTracer* tracer_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::Counter* realloc_counter_ = nullptr;
+  obs::FixedHistogram* flow_seconds_ = nullptr;
 };
 
 }  // namespace wcs::net

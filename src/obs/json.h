@@ -1,0 +1,123 @@
+// Minimal JSON toolkit: a streaming writer and a small recursive-descent
+// parser. No external dependencies — the observability layer emits run
+// reports and Chrome traces with the writer, and the schema validator
+// (obs/run_report.h, tools/report_lint) reads them back with the parser.
+//
+// The writer produces deterministic output: keys are emitted in the
+// order given, doubles with round-trip precision (%.17g shortened), and
+// non-finite doubles as null (JSON has no inf/nan).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wcs::obs {
+
+// `s` with JSON escapes applied (quotes, backslash, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// Shortest decimal string that round-trips `v` through a double.
+// Non-finite values render as "null".
+[[nodiscard]] std::string json_number(double v);
+
+// Streaming writer with pretty-printing. Usage:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.key("answer"); w.value(42.0);
+//   w.key("tags"); w.begin_array(); w.value("a"); w.end_array();
+//   w.end_object();
+//
+// Structural misuse (value without a key inside an object, unbalanced
+// end_*) trips a WCS_CHECK.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{', '}', /*is_object=*/true); }
+  void end_object() { close('}', /*is_object=*/true); }
+  void begin_array() { open('[', ']', /*is_object=*/false); }
+  void end_array() { close(']', /*is_object=*/false); }
+
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool has_key = false;   // a key was written, value pending
+    std::size_t count = 0;  // members/elements emitted so far
+  };
+
+  void open(char c, char closer, bool is_object);
+  void close(char c, bool is_object);
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  std::size_t values_at_root_ = 0;
+};
+
+// Parsed JSON document node. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  // First member with key `k`, or nullptr. Objects only.
+  [[nodiscard]] const JsonValue* find(std::string_view k) const;
+  [[nodiscard]] bool has(std::string_view k) const {
+    return find(k) != nullptr;
+  }
+};
+
+// Parses a complete JSON document; throws std::runtime_error with a
+// position-annotated message on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+// Reads and parses a whole file; throws on I/O or parse errors.
+[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+
+}  // namespace wcs::obs

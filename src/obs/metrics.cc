@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace wcs::obs {
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {
+  WCS_CHECK_MSG(hi > lo, "histogram range [" << lo << ", " << hi
+                                             << ") is empty");
+  WCS_CHECK(buckets > 0);
+}
+
+void FixedHistogram::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    ++buckets_[std::min(idx, buckets_.size() - 1)];
+  }
+}
+
+double FixedHistogram::bucket_lower(std::size_t i) const {
+  WCS_CHECK(i < buckets_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double FixedHistogram::bucket_upper(std::size_t i) const {
+  WCS_CHECK(i < buckets_.size());
+  return i + 1 == buckets_.size() ? hi_
+                                  : lo_ + width_ * static_cast<double>(i + 1);
+}
+
+void FixedHistogram::merge(const FixedHistogram& other) {
+  WCS_CHECK_MSG(same_layout(other),
+                "merging histograms with different layouts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double FixedHistogram::quantile(double q) const {
+  WCS_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return lo_;
+  // Smallest edge whose cumulative count reaches the target rank. Rank 0
+  // (q == 0) is served by the first non-empty region.
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= target) return bucket_upper(i);
+  }
+  return hi_;  // the target rank falls in the overflow bucket
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, FixedHistogram(lo, hi, buckets)).first;
+  WCS_CHECK_MSG(it->second.same_layout(FixedHistogram(lo, hi, buckets)),
+                "histogram " << name << " re-registered with a new layout");
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const FixedHistogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.member(name, c.value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.member(name, g.value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.member("lo", h.lo());
+    w.member("hi", h.hi());
+    w.member("count", h.count());
+    w.member("sum", h.sum());
+    w.member("underflow", h.underflow());
+    w.member("overflow", h.overflow());
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) w.value(h.bucket(i));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace wcs::obs

@@ -1,0 +1,131 @@
+// Low-overhead metrics primitives: named counters, gauges, and
+// fixed-bucket histograms behind a registry.
+//
+// Usage pattern: a component looks its instruments up ONCE (registration
+// walks a map) and keeps raw pointers for the hot path, where an update
+// is a single add — no hashing, no locking (each simulation owns its own
+// registry; the parallel experiment runner never shares one across
+// threads). When observability is disabled the component holds null
+// pointers and pays one predictable branch per update site.
+//
+// Counters are unsigned 64-bit and wrap modulo 2^64 on overflow (plain
+// unsigned arithmetic, property-tested); histograms have a fixed bucket
+// layout chosen at registration so add() is O(1) and merge() across
+// runs/shards is exact and associative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wcs::obs {
+
+class JsonWriter;
+
+// Monotonic event count. Overflow wraps modulo 2^64 by design: deltas
+// between two reads stay correct under unsigned arithmetic.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-written scalar (e.g. makespan, bytes delivered).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Fixed-width histogram over [lo, hi) with explicit underflow/overflow
+// buckets. add() is O(1); merge() requires an identical layout and is
+// commutative and associative (plain bucket-wise sums).
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  [[nodiscard]] bool same_layout(const FixedHistogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           buckets_.size() == other.buckets_.size();
+  }
+
+  // Bucket-wise sum; layouts must match (checked).
+  void merge(const FixedHistogram& other);
+
+  // Upper-edge quantile estimate, q in [0, 1]: the smallest bucket upper
+  // edge whose cumulative count reaches q * count(). Underflow maps to
+  // lo(), overflow to hi(). Monotone non-decreasing in q by construction.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;  // (hi - lo) / buckets
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+// Name -> instrument map. Lookup/registration is cold-path (std::map);
+// returned references are stable for the registry's lifetime, so
+// components cache them. Iteration order is name-sorted, which keeps
+// JSON dumps deterministic.
+class MetricsRegistry {
+ public:
+  // Returns the existing instrument or creates it.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  // An existing histogram must have the same layout (checked).
+  [[nodiscard]] FixedHistogram& histogram(const std::string& name, double lo,
+                                          double hi, std::size_t buckets);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const FixedHistogram* find_histogram(
+      const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  // name-sorted keys. Emitted as one value (callers position the writer).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, FixedHistogram> histograms_;
+};
+
+}  // namespace wcs::obs

@@ -1,0 +1,35 @@
+#include "obs/observability.h"
+
+#include <cstdlib>
+
+namespace wcs::obs {
+
+Options Options::all() {
+  Options o;
+  o.metrics = o.profile = o.trace = true;
+  return o;
+}
+
+Options Options::from_env() {
+  Options o;
+  if (const char* env = std::getenv("WCS_OBS"); env && *env && *env != '0')
+    o.metrics = o.profile = true;
+  if (const char* env = std::getenv("WCS_TRACE"); env && *env && *env != '0')
+    o.trace = true;
+  return o;
+}
+
+Observability::Observability(const Options& options) : options_(options) {
+  if (!options_.trace_path.empty()) options_.trace = true;
+  if (options_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+  if (options_.profile) profiler_ = std::make_unique<PhaseProfiler>();
+  if (options_.trace)
+    tracer_ = std::make_unique<EventTracer>(options_.trace_capacity);
+}
+
+void Observability::finish() {
+  if (tracer_ && !options_.trace_path.empty())
+    tracer_->write_chrome_trace(options_.trace_path);
+}
+
+}  // namespace wcs::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace wcs::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAssign: return "assign";
+    case SpanKind::kFetch: return "fetch";
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kComplete: return "complete";
+    case SpanKind::kCancelled: return "cancelled";
+    case SpanKind::kTransfer: return "transfer";
+    case SpanKind::kEviction: return "eviction";
+    case SpanKind::kWorkerFailed: return "worker-failed";
+    case SpanKind::kWorkerRecovered: return "worker-recovered";
+  }
+  return "?";
+}
+
+bool is_instant(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kFetch:
+    case SpanKind::kCompute:
+    case SpanKind::kTransfer: return false;
+    default: return true;
+  }
+}
+
+EventTracer::EventTracer(std::size_t capacity) : capacity_(capacity) {
+  WCS_CHECK_MSG(capacity > 0, "tracer needs a non-zero capacity");
+  ring_.reserve(capacity);
+}
+
+const TraceSpan& EventTracer::span(std::size_t i) const {
+  WCS_CHECK(i < ring_.size());
+  if (ring_.size() < capacity_) return ring_[i];
+  return ring_[(next_ + i) % capacity_];
+}
+
+void EventTracer::write_chrome_trace(std::ostream& out) const {
+  JsonWriter w(out, /*indent=*/0);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t i = 0; i < size(); ++i) {
+    const TraceSpan& s = span(i);
+    w.begin_object();
+    w.member("name", to_string(s.kind));
+    w.member("cat", "sim");
+    w.member("ph", is_instant(s.kind) ? "i" : "X");
+    w.member("ts", s.start * 1e6);  // simulated µs
+    if (!is_instant(s.kind)) w.member("dur", s.duration_s * 1e6);
+    w.member("pid", std::uint64_t{0});
+    w.member("tid", std::uint64_t{s.track});
+    if (is_instant(s.kind)) w.member("s", "t");  // thread-scoped instant
+    w.key("args");
+    w.begin_object();
+    if (s.task.valid()) w.member("task", std::uint64_t{s.task.value()});
+    if (s.bytes > 0) w.member("bytes", s.bytes);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.member("recorded", recorded());
+  w.member("dropped", dropped());
+  w.end_object();
+  w.end_object();
+}
+
+void EventTracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  WCS_CHECK_MSG(out.good(), "cannot open trace output " << path);
+  write_chrome_trace(out);
+}
+
+}  // namespace wcs::obs

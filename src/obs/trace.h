@@ -1,0 +1,88 @@
+// Structured event tracer: a fixed-capacity ring buffer of simulation
+// spans, dumpable as Chrome trace_event JSON (chrome://tracing,
+// https://ui.perfetto.dev).
+//
+// The engine records the task lifecycle (assign -> fetch -> compute ->
+// complete), the flow layer records transfers, and the storage layer
+// records evictions. Each record is a POD appended in O(1); when the ring
+// is full the oldest spans are overwritten and counted as dropped, so a
+// 6,000-task run can trace its tail without unbounded memory.
+//
+// Timestamps are SIMULATED time (exported as microseconds, the
+// trace_event unit), so traces are deterministic and diffable across
+// hosts. Tracks ("tid") are worker ids for lifecycle spans, node ids for
+// transfers, and site ids for evictions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace wcs::obs {
+
+enum class SpanKind : std::uint8_t {
+  kAssign,     // instant: task handed to a worker's queue
+  kFetch,      // span: batch request at the data server until all resident
+  kCompute,    // span: task execution on the worker
+  kComplete,   // instant: task finished (winning instance)
+  kCancelled,  // instant: instance cancelled (lost race or crash)
+  kTransfer,   // span: one network flow, latency phase included
+  kEviction,   // instant: a file evicted from a site cache
+  kWorkerFailed,
+  kWorkerRecovered,
+};
+
+[[nodiscard]] const char* to_string(SpanKind kind);
+// Instants render as trace_event phase "i", spans as complete events "X".
+[[nodiscard]] bool is_instant(SpanKind kind);
+
+struct TraceSpan {
+  SimTime start = 0;      // simulated seconds
+  double duration_s = 0;  // 0 for instants
+  SpanKind kind{};
+  std::uint32_t track = 0;  // worker / node / site id (trace "tid")
+  TaskId task;              // invalid when not task-scoped
+  double bytes = 0;         // payload, transfers only
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity);
+
+  void record(const TraceSpan& span) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(span);
+    } else {
+      ring_[next_] = span;
+      next_ = (next_ + 1) % capacity_;
+      ++dropped_;
+    }
+    ++recorded_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  // Spans ever recorded / overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  // i-th retained span in record order (0 = oldest retained).
+  [[nodiscard]] const TraceSpan& span(std::size_t i) const;
+
+  // Chrome trace_event JSON object: {"traceEvents": [...], ...}. ts/dur
+  // are simulated microseconds; pid 0 names the simulation process.
+  void write_chrome_trace(std::ostream& out) const;
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // overwrite cursor once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceSpan> ring_;
+};
+
+}  // namespace wcs::obs

@@ -26,6 +26,7 @@
 #include "audit/invariant_auditor.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "obs/profiler.h"
 #include "storage/file_cache.h"
 #include "workload/job.h"
 
@@ -121,6 +122,11 @@ class Scheduler {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  // Attach the wall-clock phase profiler (nullptr detaches). Decision
+  // hooks bracket themselves with ScopedPhase(kSchedulerDecision);
+  // profiling never influences a decision.
+  void set_profiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
   // Component self-audit, driven by the invariant auditor: append
   // violations of the scheduler's internal bookkeeping (e.g. incremental
   // indexes that drifted from the cache state). Must be read-only.
@@ -134,6 +140,8 @@ class Scheduler {
     WCS_CHECK_MSG(engine_ != nullptr, "scheduler not attached");
     return *engine_;
   }
+
+  obs::PhaseProfiler* profiler_ = nullptr;
 
  private:
   GridEngine* engine_ = nullptr;

@@ -14,6 +14,7 @@ StorageAffinityScheduler::StorageAffinityScheduler(
 }
 
 void StorageAffinityScheduler::on_job_submitted() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   const std::size_t num_tasks = engine().job().num_tasks();
   placements_.assign(num_tasks, {});
   completed_.assign(num_tasks, 0);
@@ -123,6 +124,7 @@ double StorageAffinityScheduler::cache_affinity(TaskId task,
 }
 
 void StorageAffinityScheduler::on_worker_idle(WorkerId worker) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   // Orphan pickup first: a task may have lost its last instance while no
   // live worker was available (total-outage corner under churn).
   for (std::size_t i = 0; i < placements_.size(); ++i) {

@@ -40,6 +40,7 @@ std::string WorkerCentricScheduler::name() const {
 }
 
 void WorkerCentricScheduler::on_job_submitted() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   build_index();
 }
 
@@ -350,6 +351,7 @@ void WorkerCentricScheduler::forget_starving(WorkerId worker) {
 }
 
 void WorkerCentricScheduler::on_worker_idle(WorkerId worker) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   forget_starving(worker);
   if (pending_list_.empty()) {
     // Bag is empty; optionally shave the tail by replicating. A worker

@@ -22,6 +22,7 @@ class WorkqueueScheduler final : public Scheduler {
   }
 
   void on_worker_idle(WorkerId worker) override {
+    obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
     starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
                     starving_.end());
     if (pending_.empty()) {

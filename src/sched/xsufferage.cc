@@ -7,6 +7,7 @@
 namespace wcs::sched {
 
 void XSufferageScheduler::on_job_submitted() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   const workload::Job& job = engine().job();
   const std::size_t num_tasks = job.num_tasks();
   const std::size_t num_sites = engine().num_sites();
@@ -75,6 +76,7 @@ double XSufferageScheduler::estimated_completion(TaskId task,
 }
 
 void XSufferageScheduler::on_worker_idle(WorkerId worker) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
   starving_.erase(std::remove(starving_.begin(), starving_.end(), worker),
                   starving_.end());
   if (pending_list_.empty()) {

@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "obs/profiler.h"
 
 namespace wcs::sim {
 
@@ -36,6 +37,10 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  // Attach a wall-clock phase profiler (nullptr detaches). Profiling is
+  // read-only over kernel state: it never alters event order or timing.
+  void set_profiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
   // Schedule `cb` to run at now() + delay. delay must be >= 0.
   EventId schedule_in(SimTime delay, EventCallback cb) {
     WCS_CHECK_MSG(delay >= 0, "negative delay " << delay);
@@ -48,6 +53,7 @@ class Simulator {
     EventId id(next_seq_++);
     state_.push_back(EventState::kLive);  // state_[id.value()]
     ++live_count_;
+    if (live_count_ > peak_live_) peak_live_ = live_count_;
     queue_.push(Entry{at, id, std::move(cb)});
     return id;
   }
@@ -74,7 +80,10 @@ class Simulator {
       --live_count_;
       now_ = e.time;
       ++executed_;
-      e.cb();
+      {
+        obs::ScopedPhase phase(profiler_, obs::Phase::kEventDispatch);
+        e.cb();
+      }
       return true;
     }
     return false;
@@ -104,6 +113,8 @@ class Simulator {
   // True when no live (scheduled, uncancelled, unfired) events remain.
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t executed_events() const { return executed_; }
+  // High-water mark of simultaneously live events (queue pressure).
+  [[nodiscard]] std::size_t peak_live_events() const { return peak_live_; }
 
   // --- Audit introspection ----------------------------------------------
   // The incrementally-maintained live counter (O(1)), and a full recount
@@ -163,7 +174,9 @@ class Simulator {
   // sets.
   std::vector<EventState> state_;
   std::size_t live_count_ = 0;
+  std::size_t peak_live_ = 0;
   std::size_t executed_ = 0;
+  obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 }  // namespace wcs::sim

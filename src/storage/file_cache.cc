@@ -47,6 +47,7 @@ bool FileCache::try_insert(FileId f) {
 }
 
 void FileCache::evict_one() {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kCacheEviction);
   FileId victim = FileId::invalid();
   if (policy_ == EvictionPolicy::kMinRef) {
     // O(n) scan over resident unpinned files; MinRef is an ablation
@@ -75,6 +76,13 @@ void FileCache::evict_one() {
   order_.erase(it->second.order_it);
   entries_.erase(it);
   ++evictions_;
+  if (tracer_ && now_fn_) {
+    obs::TraceSpan span;
+    span.start = now_fn_();
+    span.kind = obs::SpanKind::kEviction;
+    span.track = obs_track_;
+    tracer_->record(span);
+  }
   notify(CacheEvent::kEvicted, victim);
 }
 

@@ -28,6 +28,9 @@
 #include "audit/checkers.h"
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/units.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace wcs::storage {
 
@@ -104,6 +107,19 @@ class FileCache {
   // clear. Fired synchronously on every mutation.
   void set_listener(CacheListener listener) { listener_ = std::move(listener); }
 
+  // Attach observability instruments (the single listener slot belongs to
+  // the scheduler's incremental index, so tracing gets its own hook).
+  // `now_fn` supplies the simulated clock and is only called on actual
+  // evictions; `track` is this cache's site id for the trace timeline.
+  // Read-only: never changes victim selection.
+  void set_obs(obs::PhaseProfiler* profiler, obs::EventTracer* tracer,
+               std::function<SimTime()> now_fn, std::uint32_t track) {
+    profiler_ = profiler;
+    tracer_ = tracer;
+    now_fn_ = std::move(now_fn);
+    obs_track_ = track;
+  }
+
  private:
   struct Entry {
     std::list<FileId>::iterator order_it;  // position in order_ (LRU/FIFO)
@@ -124,6 +140,12 @@ class FileCache {
   std::unordered_map<FileId, std::size_t> ref_counts_;
   std::uint64_t evictions_ = 0;
   CacheListener listener_;
+
+  // Observability (null/empty when disabled).
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::EventTracer* tracer_ = nullptr;
+  std::function<SimTime()> now_fn_;
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace wcs::storage

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -8,6 +9,10 @@
 namespace wcs::workload {
 
 void save_job(const Job& job, std::ostream& out) {
+  // mflop must survive a save/load round trip exactly (the trace-replay
+  // test re-runs the parsed job and expects identical results), so print
+  // doubles at full round-trip precision, not the stream default of 6.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "job " << (job.name.empty() ? "unnamed" : job.name) << '\n';
   out << "files " << job.catalog.num_files() << '\n';
   for (std::size_t i = 0; i < job.catalog.num_files(); ++i)

@@ -446,6 +446,40 @@ TEST(AuditIntegration, AuditedResultsAreIdentical) {
   EXPECT_EQ(a.total_bytes_transferred(), b.total_bytes_transferred());
 }
 
+TEST(AuditIntegration, ObservedAndAuditedResultsAreIdentical) {
+  // Auditing AND full observability together must still be read-only:
+  // counters, phase scopes, and the span tracer never feed a decision.
+  auto job = small_job();
+  sched::SchedulerSpec spec;
+  spec.algorithm = sched::Algorithm::kCombined;
+
+  grid::GridConfig plain = audit_test_config();
+  grid::GridSimulation sim_plain(plain, job, sched::make_scheduler(spec));
+  auto a = sim_plain.run();
+
+  grid::GridConfig full = audit_test_config();
+  full.audit = true;
+  full.audit_interval_events = 10;
+  full.obs = obs::Options::all();
+  grid::GridSimulation sim_full(full, job, sched::make_scheduler(spec));
+  auto b = sim_full.run();
+
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.total_file_transfers(), b.total_file_transfers());
+  EXPECT_EQ(a.total_bytes_transferred(), b.total_bytes_transferred());
+
+  // And the instruments actually observed the run.
+  ASSERT_NE(sim_full.observability(), nullptr);
+  const auto* reg = sim_full.observability()->metrics();
+  ASSERT_NE(reg, nullptr);
+  EXPECT_EQ(reg->find_counter("engine.tasks_completed")->value(), 30u);
+  EXPECT_EQ(reg->find_counter("sim.events_executed")->value(),
+            b.events_executed);
+  EXPECT_GT(sim_full.observability()->tracer()->recorded(), 0u);
+}
+
 TEST(AuditIntegration, AllSchedulersPassEndOfRunAudit) {
   for (auto algo :
        {sched::Algorithm::kWorkqueue, sched::Algorithm::kXSufferage,

@@ -1,0 +1,150 @@
+// Run-report schema v1: the writer emits valid reports, and the
+// validator (shared with tools/report_lint and CI) rejects every class
+// of drift — missing keys, wrong types, out-of-range values, and
+// non-monotone timestamps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/run_report.h"
+
+namespace wcs::obs {
+namespace {
+
+RunReport sample_report() {
+  RunReport r;
+  r.bench = "bench_fig5_transfers";
+  r.title = "Figure 5: file transfers";
+  r.x_axis = "capacity_files";
+  r.metric = "transfers per site";
+  r.config.tasks = 6000;
+  r.config.seeds = 5;
+  r.config.jobs = 2;
+  r.config.fast = false;
+  r.config.audit = true;
+  r.config.trace = false;
+  r.total_wall_seconds = 12.5;
+  for (int p = 0; p < 2; ++p) {
+    ReportPoint pt;
+    pt.x = 3000.0 * (p + 1);
+    pt.x_label = std::to_string(3000 * (p + 1)) + " files";
+    pt.wall_seconds = 5.0 * (p + 1);
+    ReportRow row;
+    row.scheduler = "rest.2";
+    row.runs = 5;
+    row.makespan_minutes = 1234.5;
+    row.transfers_per_site = 5000;
+    pt.rows.push_back(row);
+    r.points.push_back(std::move(pt));
+  }
+  return r;
+}
+
+JsonValue emit(const RunReport& r) {
+  std::ostringstream out;
+  r.write(out);
+  return parse_json(out.str());
+}
+
+bool mentions(const std::vector<std::string>& violations,
+              std::string_view needle) {
+  for (const auto& v : violations)
+    if (v.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(ReportSchema, WriterOutputValidates) {
+  EXPECT_TRUE(validate_report(emit(sample_report())).empty());
+}
+
+TEST(ReportSchema, WriterWithPhasesValidates) {
+  PhaseProfiler phases;
+  phases.record(Phase::kSchedulerDecision, 1000000);
+  RunReport r = sample_report();
+  r.phases = &phases;
+  JsonValue doc = emit(r);
+  ASSERT_TRUE(doc.has("phases"));
+  EXPECT_TRUE(validate_report(doc).empty());
+}
+
+TEST(ReportSchema, RejectsWrongVersion) {
+  JsonValue doc = emit(sample_report());
+  for (auto& [k, v] : doc.object)
+    if (k == "schema_version") v.number = 2;
+  EXPECT_TRUE(mentions(validate_report(doc), "schema_version"));
+}
+
+TEST(ReportSchema, RejectsMissingTopLevelKeys) {
+  for (const char* key : {"bench", "config", "total_wall_seconds", "points"}) {
+    JsonValue doc = emit(sample_report());
+    std::erase_if(doc.object, [&](const auto& kv) { return kv.first == key; });
+    EXPECT_TRUE(mentions(validate_report(doc), key)) << key;
+  }
+}
+
+TEST(ReportSchema, RejectsEmptyPoints) {
+  JsonValue doc = emit(sample_report());
+  for (auto& [k, v] : doc.object)
+    if (k == "points") v.array.clear();
+  EXPECT_TRUE(mentions(validate_report(doc), "points"));
+}
+
+TEST(ReportSchema, RejectsNonMonotoneWallSeconds) {
+  RunReport r = sample_report();
+  r.points[1].wall_seconds = r.points[0].wall_seconds - 1;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "wall_seconds"));
+}
+
+TEST(ReportSchema, RejectsNegativeMetric) {
+  RunReport r = sample_report();
+  r.points[0].rows[0].makespan_minutes = -1;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "makespan_minutes"));
+}
+
+TEST(ReportSchema, RejectsZeroRunsAndEmptyNames) {
+  RunReport r = sample_report();
+  r.points[0].rows[0].runs = 0;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "runs"));
+  r = sample_report();
+  r.points[0].rows[0].scheduler = "";
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "name"));
+  r = sample_report();
+  r.points[0].x_label = "";
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "x_label"));
+}
+
+TEST(ReportSchema, RejectsBadConfig) {
+  RunReport r = sample_report();
+  r.config.jobs = 0;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "jobs"));
+}
+
+TEST(ReportSchema, RejectsNonObjectRoot) {
+  JsonValue doc;
+  doc.type = JsonValue::Type::kArray;
+  EXPECT_FALSE(validate_report(doc).empty());
+}
+
+TEST(ReportSchema, FileRoundTripValidates) {
+  const std::string path = ::testing::TempDir() + "wcs_report_schema.json";
+  sample_report().write(path);
+  EXPECT_TRUE(validate_report_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(ReportSchema, FileErrorsBecomeViolations) {
+  auto missing = validate_report_file("/nonexistent/wcs_report.json");
+  ASSERT_EQ(missing.size(), 1u);
+
+  const std::string path = ::testing::TempDir() + "wcs_report_garbage.json";
+  std::ofstream(path) << "{ not json";
+  auto garbage = validate_report_file(path);
+  ASSERT_EQ(garbage.size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wcs::obs

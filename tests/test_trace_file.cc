@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "grid/experiment.h"
 #include "workload/coadd.h"
 #include "workload/trace.h"
 
@@ -72,6 +73,37 @@ TEST_F(TraceFileTest, LargeJobRoundTripsExactly) {
   EXPECT_EQ(sa.distinct_files, sb.distinct_files);
   EXPECT_DOUBLE_EQ(sa.avg_files_per_task, sb.avg_files_per_task);
   EXPECT_EQ(a.catalog.total_bytes(), b.catalog.total_bytes());
+}
+
+TEST_F(TraceFileTest, ReloadedJobSimulatesIdentically) {
+  // The serialized workload is a faithful substitute for the generated
+  // one: running either through the same fixed-seed simulation must
+  // produce the same result, bit for bit (mflop and byte values are
+  // written at round-trip precision).
+  CoaddParams p;
+  p.num_tasks = 80;
+  p.seed = 99;
+  Job a = generate_coadd(p);
+  save_job(a, path_.string());
+  Job b = load_job(path_.string());
+
+  grid::GridConfig c;
+  c.tiers.num_sites = 3;
+  c.tiers.workers_per_site = 2;
+  c.capacity_files = 400;
+  sched::SchedulerSpec spec;
+  spec.algorithm = sched::Algorithm::kRest;
+  spec.choose_n = 2;
+  auto ra = grid::run_once(c, a, spec, 5);
+  auto rb = grid::run_once(c, b, spec, 5);
+
+  EXPECT_EQ(ra.makespan_s, rb.makespan_s);
+  EXPECT_EQ(ra.events_executed, rb.events_executed);
+  EXPECT_EQ(ra.assignments, rb.assignments);
+  EXPECT_EQ(ra.total_file_transfers(), rb.total_file_transfers());
+  EXPECT_EQ(ra.total_bytes_transferred(), rb.total_bytes_transferred());
+  EXPECT_EQ(ra.total_cache_hits(), rb.total_cache_hits());
+  EXPECT_EQ(ra.total_evictions(), rb.total_evictions());
 }
 
 }  // namespace
