@@ -1,76 +1,11 @@
-// Ablation A4: baselines panorama + estimate quality.
+// Ablation A4: baselines panorama + estimate quality (DESIGN.md \xc2\xa74).
 //
-// Compares the paper's best pull scheduler against the no-information
-// baseline (workqueue) and the dynamic-information baseline (XSufferage,
-// related work Sec. 6) while degrading the platform estimates XSufferage
-// depends on. The paper's Sec. 2.4 thesis regenerated as a curve:
-// data-placement information is cheap and sufficient; dynamic estimates
-// are a liability unless they are nearly perfect.
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ablation_baselines"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  sched::SchedulerSpec wq;
-  wq.algorithm = sched::Algorithm::kWorkqueue;
-  sched::SchedulerSpec xs;
-  xs.algorithm = sched::Algorithm::kXSufferage;
-  sched::SchedulerSpec rest2;
-  rest2.algorithm = sched::Algorithm::kRest;
-  rest2.choose_n = 2;
-
-  std::cout << "Ablation A4: baselines vs estimate quality "
-               "(makespan, minutes; Table 1 defaults)\n\n";
-  std::cout << std::left << std::setw(22) << "estimate error" << std::right
-            << std::setw(16) << "workqueue" << std::setw(16) << "xsufferage"
-            << std::setw(16) << "rest.2" << '\n';
-
-  std::vector<bench::SweepPoint> points;
-  for (double error : {0.0, 1.0, 3.0, 9.0}) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.estimate_error = error;
-    std::string label = "exact";
-    if (error != 0) {
-      label = "x";
-      label += std::to_string(1.0 + error).substr(0, 4);
-    }
-    std::cout << std::left << std::setw(22) << label;
-    bench::SweepPoint pt;
-    pt.x = error;
-    pt.x_label = label;
-    for (const auto& spec : {wq, xs, rest2}) {
-      auto runs = grid::run_seeds(c, job, spec, seeds, opt.jobs);
-      double makespan = 0;
-      for (const auto& r : runs)
-        makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
-      pt.rows.push_back(metrics::average(runs));
-      std::cout << std::right << std::fixed << std::setprecision(0)
-                << std::setw(16) << makespan;
-      bench::progress(spec.name() + " @ error " + std::to_string(error));
-    }
-    std::cout << '\n';
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases =
-      bench::trace_representative_run(opt, bench::paper_config(opt), job);
-  bench::write_report("Ablation A4: baselines vs estimate quality",
-                      "estimate_error", "makespan (minutes)", points, opt,
-                      phases ? &*phases : nullptr);
-
-  std::cout << "\nreading: workqueue and rest.2 never read estimates "
-               "(columns constant).\nxsufferage tolerates static per-site "
-               "estimate bias (within-site rankings are\nscale-invariant) "
-               "and only extreme error misroutes tasks; the case against\n"
-               "estimate-driven scheduling is availability/temporal "
-               "variance, not static bias.\n";
-  return 0;
+  return wcs::scenario::scenario_main("ablation_baselines", argc, argv);
 }

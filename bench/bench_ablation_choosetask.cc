@@ -1,53 +1,11 @@
-// Ablation A2 (DESIGN.md §4): ChooseTask(n) for n in {1, 2, 4, 8}.
+// Ablation A2: ChooseTask(n) sweep (DESIGN.md \xc2\xa74).
 //
-// The paper reports trying several n and keeping only 1 and 2 ("only 1
-// and 2 give good results", Sec. 5.3). This bench regenerates that
-// observation: n = 2 edges out n = 1 by dodging sub-optimal deterministic
-// choices, while larger n dilutes the metric with weight-proportional
-// noise.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ablation_choosetask"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  std::vector<sched::SchedulerSpec> specs;
-  for (auto algorithm : {sched::Algorithm::kRest, sched::Algorithm::kCombined})
-    for (int n : {1, 2, 4, 8}) {
-      sched::SchedulerSpec s;
-      s.algorithm = algorithm;
-      s.choose_n = n;
-      specs.push_back(s);
-    }
-
-  grid::GridConfig c = bench::paper_config(opt);
-  auto rows =
-      grid::run_matrix(c, job, specs, seeds,
-                       [](const std::string& s) { bench::progress(s); },
-                       opt.jobs);
-  grid::print_table(std::cout,
-                    "Ablation A2: ChooseTask(n) sweep (Table 1 defaults)",
-                    rows);
-
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.header({"algorithm", "makespan_min", "transfers_per_site"});
-    for (const auto& r : rows)
-      csv.row(r.scheduler, r.makespan_minutes, r.transfers_per_site);
-  }
-
-  bench::SweepPoint pt;
-  pt.x_label = "table1-defaults";
-  pt.wall_seconds = bench::elapsed_s(opt);
-  pt.rows = rows;
-  auto phases = bench::trace_representative_run(opt, c, job);
-  bench::write_report("Ablation A2: ChooseTask(n) sweep", "config",
-                      "makespan (minutes)", {pt}, opt,
-                      phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("ablation_choosetask", argc, argv);
 }

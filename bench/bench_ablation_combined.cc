@@ -1,63 +1,11 @@
-// Ablation A1 (DESIGN.md §4): the `combined` metric as PRINTED in the
-// paper (ref_t/totalRef + totalRest/rest_t) versus the prose-consistent
-// normalization we ship as default (ref_t/totalRef + rest_t/totalRest).
+// Ablation A1: combined formula, prose vs verbatim (DESIGN.md \xc2\xa74).
 //
-// The printed formula REWARDS tasks that need more transfers (the
-// totalRest/rest_t term grows with missing files), contradicting both the
-// paper's stated intuition and its results; this bench quantifies how
-// much worse it is, as evidence for the deviation recorded in DESIGN.md
-// §1/§6.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ablation_combined"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  std::vector<sched::SchedulerSpec> specs;
-  for (int n : {1, 2}) {
-    for (auto formula : {sched::CombinedFormula::kProse,
-                         sched::CombinedFormula::kVerbatim}) {
-      sched::SchedulerSpec s;
-      s.algorithm = sched::Algorithm::kCombined;
-      s.choose_n = n;
-      s.combined_formula = formula;
-      specs.push_back(s);
-    }
-  }
-  // Reference points.
-  sched::SchedulerSpec rest;
-  rest.algorithm = sched::Algorithm::kRest;
-  specs.push_back(rest);
-
-  grid::GridConfig c = bench::paper_config(opt);
-  auto rows =
-      grid::run_matrix(c, job, specs, seeds,
-                       [](const std::string& s) { bench::progress(s); },
-                       opt.jobs);
-  grid::print_table(std::cout,
-                    "Ablation A1: combined formula, prose vs verbatim "
-                    "(Table 1 defaults)",
-                    rows);
-
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.header({"algorithm", "makespan_min", "transfers_per_site"});
-    for (const auto& r : rows)
-      csv.row(r.scheduler, r.makespan_minutes, r.transfers_per_site);
-  }
-
-  bench::SweepPoint pt;
-  pt.x_label = "table1-defaults";
-  pt.wall_seconds = bench::elapsed_s(opt);
-  pt.rows = rows;
-  auto phases = bench::trace_representative_run(opt, c, job);
-  bench::write_report("Ablation A1: combined formula, prose vs verbatim",
-                      "config", "makespan (minutes)", {pt}, opt,
-                      phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("ablation_combined", argc, argv);
 }

@@ -1,59 +1,11 @@
-// Ablation A3 (DESIGN.md §4): data-server eviction policy (LRU / FIFO /
-// MinRef) under the tight-capacity regime (3000 files), where policy
-// actually matters. The paper fixes its replacement policy implicitly;
-// this bench shows how much of the small-capacity behaviour is policy-
-// dependent.
-#include <iostream>
-
-#include "bench_util.h"
+// Ablation A3: eviction policy x capacity (DESIGN.md \xc2\xa74).
+//
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ablation_eviction"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  std::vector<sched::SchedulerSpec> specs;
-  sched::SchedulerSpec rest;
-  rest.algorithm = sched::Algorithm::kRest;
-  sched::SchedulerSpec sa;
-  sa.algorithm = sched::Algorithm::kStorageAffinity;
-  specs = {rest, sa};
-
-  std::vector<bench::SweepPoint> points;
-  for (std::size_t cap : {3000u, 6000u}) {
-    for (auto policy :
-         {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
-          storage::EvictionPolicy::kMinRef}) {
-      grid::GridConfig c = bench::paper_config(opt);
-      c.capacity_files = cap;
-      c.eviction = policy;
-      auto rows = grid::run_matrix(
-          c, job, specs, seeds, [&](const std::string& s) {
-            bench::progress(std::string(storage::to_string(policy)) + " @" +
-                            std::to_string(cap) + ": " + s);
-          },
-          opt.jobs);
-      grid::print_table(std::cout,
-                        std::string("Ablation A3: eviction = ") +
-                            storage::to_string(policy) + ", capacity " +
-                            std::to_string(cap),
-                        rows);
-      bench::SweepPoint pt;
-      pt.x = static_cast<double>(cap);
-      pt.x_label =
-          std::string(storage::to_string(policy)) + "@" + std::to_string(cap);
-      pt.wall_seconds = bench::elapsed_s(opt);
-      pt.rows = std::move(rows);
-      points.push_back(std::move(pt));
-    }
-  }
-
-  auto phases =
-      bench::trace_representative_run(opt, bench::paper_config(opt), job);
-  bench::write_report("Ablation A3: eviction policy x capacity",
-                      "policy@capacity", "makespan (minutes)", points, opt,
-                      phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("ablation_eviction", argc, argv);
 }

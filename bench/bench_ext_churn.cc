@@ -1,88 +1,11 @@
-// Extension bench E2: scheduling under worker churn.
+// Extension E2: scheduling under worker churn (paper Sec. 1).
 //
-// The paper motivates worker-centric scheduling partly by grid-resource
-// unreliability (Sec. 1, citing PlanetLab's "seven deadly sins"), but
-// evaluates only stable platforms. This bench injects exponential
-// crash/recover churn and sweeps the mean uptime, comparing the
-// task-centric baseline (whose queues lose many in-flight instances per
-// crash and must be actively re-placed) against pull scheduling (which
-// loses at most the running task and re-homes it into the bag).
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ext_churn"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  sched::SchedulerSpec sa;
-  sa.algorithm = sched::Algorithm::kStorageAffinity;
-  sched::SchedulerSpec rest2;
-  rest2.algorithm = sched::Algorithm::kRest;
-  rest2.choose_n = 2;
-  sched::SchedulerSpec rest2_repl = rest2;
-  rest2_repl.task_replication = true;
-  std::vector<sched::SchedulerSpec> specs{sa, rest2, rest2_repl};
-
-  // Mean uptimes, in hours of simulated time (0 = no churn).
-  std::vector<double> uptimes_h{0, 168, 48, 12};
-
-  std::cout << "Extension E2: makespan (min) under worker churn\n"
-            << "(mean downtime = uptime/6; 5 topology+churn seeds)\n\n";
-  std::cout << std::left << std::setw(22) << "mean uptime";
-  for (const auto& s : specs) std::cout << std::right << std::setw(22)
-                                        << s.name();
-  std::cout << std::right << std::setw(14) << "failures" << '\n';
-
-  std::vector<bench::SweepPoint> points;
-  for (double up_h : uptimes_h) {
-    std::cout << std::left << std::setw(22)
-              << (up_h == 0 ? std::string("none")
-                            : std::to_string(static_cast<int>(up_h)) + " h");
-    double failures = 0;
-    bench::SweepPoint pt;
-    pt.x = up_h;
-    pt.x_label = up_h == 0 ? std::string("none")
-                           : std::to_string(static_cast<int>(up_h)) + "h";
-    for (const auto& spec : specs) {
-      grid::GridConfig c = bench::paper_config(opt);
-      if (up_h > 0) {
-        grid::GridConfig::ChurnParams churn;
-        churn.mean_uptime_s = hours(up_h);
-        churn.mean_downtime_s = hours(up_h) / 6.0;
-        c.churn = churn;
-      }
-      auto runs = grid::run_seeds(c, job, spec, seeds, opt.jobs);
-      double makespan = 0;
-      for (const auto& r : runs) {
-        makespan += r.makespan_minutes() / static_cast<double>(seeds.size());
-        failures += static_cast<double>(r.worker_failures) /
-                    static_cast<double>(seeds.size() * specs.size());
-      }
-      pt.rows.push_back(metrics::average(runs));
-      std::cout << std::right << std::setw(22) << std::fixed
-                << std::setprecision(0) << makespan;
-      bench::progress(spec.name() + " @ uptime " + std::to_string(up_h));
-    }
-    std::cout << std::right << std::setw(14) << std::setprecision(1)
-              << failures << '\n';
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases =
-      bench::trace_representative_run(opt, bench::paper_config(opt), job);
-  bench::write_report("Extension E2: makespan under worker churn",
-                      "mean_uptime_h", "makespan (minutes)", points, opt,
-                      phases ? &*phases : nullptr);
-
-  std::cout << "\nreading: pull scheduling degrades gracefully; the "
-               "task-centric baseline pays\nmore per crash (whole queues "
-               "lost + active re-placement), and task\nreplication "
-               "recovers part of the tail for the pull scheduler.\n";
-  return 0;
+  return wcs::scenario::scenario_main("ext_churn", argc, argv);
 }

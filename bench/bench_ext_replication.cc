@@ -1,101 +1,11 @@
-// Extension bench E1: the paper's Sec. 3.1/3.2 claims about replication.
+// Extension E1: data/task replication mechanisms (paper Sec. 3.1/3.2).
 //
-//   1. Task-centric scheduling NEEDS auxiliary mechanisms (data
-//      replication / task replication) to fix the imbalance its
-//      assignment creates.
-//   2. For worker-centric scheduling both mechanisms are ORTHOGONAL:
-//      "they might help the performance ... but are not necessary."
-//
-// We run storage affinity and rest.2 with and without (a) proactive data
-// replication (Ranganathan & Foster style) and (b) task replication, on
-// the paper workload at Table 1 defaults, and report the deltas.
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "ext_replication"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto seeds = opt.topology_seeds();
-
-  struct Variant {
-    std::string label;
-    sched::SchedulerSpec spec;
-    bool data_replication;
-  };
-  auto wc = [](int n, bool task_repl) {
-    sched::SchedulerSpec s;
-    s.algorithm = sched::Algorithm::kRest;
-    s.choose_n = n;
-    s.task_replication = task_repl;
-    return s;
-  };
-  sched::SchedulerSpec sa;
-  sa.algorithm = sched::Algorithm::kStorageAffinity;
-
-  std::vector<Variant> variants = {
-      {"storage-affinity", sa, false},
-      {"storage-affinity +data-repl", sa, true},
-      {"rest.2", wc(2, false), false},
-      {"rest.2 +data-repl", wc(2, false), true},
-      {"rest.2 +task-repl", wc(2, true), false},
-      {"rest.2 +both", wc(2, true), true},
-  };
-
-  std::cout << "Extension E1: replication mechanisms (Table 1 defaults)\n\n";
-  std::cout << std::left << std::setw(32) << "variant" << std::right
-            << std::setw(16) << "makespan (min)" << std::setw(18)
-            << "transfers/site" << std::setw(16) << "repl. files"
-            << std::setw(14) << "replicas" << '\n';
-
-  std::vector<bench::SweepPoint> points;
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    const Variant& v = variants[i];
-    grid::GridConfig c = bench::paper_config(opt);
-    if (v.data_replication) {
-      replication::DataReplicatorParams rp;
-      rp.popularity_threshold = 8;
-      rp.placement = replication::Placement::kLeastLoaded;
-      c.replication = rp;
-    }
-    std::vector<metrics::RunResult> runs =
-        grid::run_seeds(c, job, v.spec, seeds, opt.jobs);
-    const double num_runs = static_cast<double>(runs.size());
-    double makespan = 0, transfers = 0, repl_files = 0, replicas = 0;
-    for (const auto& r : runs) {
-      makespan += r.makespan_minutes() / num_runs;
-      transfers += r.transfers_per_site() / num_runs;
-      repl_files += static_cast<double>(r.files_replicated) / num_runs;
-      replicas += static_cast<double>(r.replicas_started) / num_runs;
-    }
-    std::cout << std::left << std::setw(32) << v.label << std::right
-              << std::fixed << std::setprecision(0) << std::setw(16)
-              << makespan << std::setprecision(1) << std::setw(18)
-              << transfers << std::setprecision(0) << std::setw(16)
-              << repl_files << std::setw(14) << replicas << '\n';
-    bench::progress(v.label + " done");
-
-    metrics::AveragedResult avg = metrics::average(runs);
-    avg.scheduler = v.label;  // distinguish ±replication variants
-    bench::SweepPoint pt;
-    pt.x = static_cast<double>(i);
-    pt.x_label = v.label;
-    pt.wall_seconds = bench::elapsed_s(opt);
-    pt.rows.push_back(std::move(avg));
-    points.push_back(std::move(pt));
-  }
-
-  auto phases =
-      bench::trace_representative_run(opt, bench::paper_config(opt), job);
-  bench::write_report("Extension E1: replication mechanisms", "variant",
-                      "makespan (minutes)", points, opt,
-                      phases ? &*phases : nullptr);
-
-  std::cout << "\nreading: data replication should recover a chunk of "
-               "storage affinity's gap;\nfor rest.2 both mechanisms should "
-               "move the needle far less (orthogonality).\n";
-  return 0;
+  return wcs::scenario::scenario_main("ext_replication", argc, argv);
 }

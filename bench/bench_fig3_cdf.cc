@@ -1,54 +1,11 @@
-// Reproduces paper Figures 1/3: the Coadd file-access distribution —
-// cumulative % of files referenced by at least x tasks (x-axis printed in
-// the paper's decreasing sense). The paper's headline: "roughly 85% of
-// files are accessed by 6 or more tasks" for the 6,000-task slice.
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
-#include "workload/coadd.h"
+// Reproduces paper Figures 1/3: the Coadd file-access distribution.
+//
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig3_cdf"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  workload::JobStats stats = workload::compute_stats(job);
-
-  std::cout << "Figure 3. File access distribution of Coadd with "
-            << stats.num_tasks << " tasks\n";
-  std::cout << "(fraction of files accessed by >= x tasks; paper: ~0.85 at "
-               "x = 6)\n\n";
-  std::cout << "  x (refs)   % of files (cumulative)\n";
-  for (std::size_t x = 12; x >= 1; --x) {
-    double frac = stats.refs_cdf.fraction_at_least(x) * 100.0;
-    std::cout << "  " << std::setw(8) << x << "   " << std::setw(8)
-              << std::fixed << std::setprecision(2) << frac << "  |";
-    int bars = static_cast<int>(frac / 2.0);
-    for (int b = 0; b < bars; ++b) std::cout << '#';
-    std::cout << '\n';
-  }
-  std::cout << "\n  fraction >= 6 refs: "
-            << stats.refs_cdf.fraction_at_least(6) << "  (paper: ~0.85)\n";
-
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.header({"min_refs", "fraction_of_files"});
-    for (std::size_t x = 1; x <= 20; ++x)
-      csv.row(x, stats.refs_cdf.fraction_at_least(x));
-  }
-
-  // No simulations here: the run report records config/wall time plus a
-  // placeholder row so the schema-checked artifact set stays complete.
-  metrics::AveragedResult row_stats;
-  row_stats.scheduler = "workload-stats";
-  row_stats.runs = 1;
-  bench::SweepPoint pt;
-  pt.x = 6;
-  pt.x_label = ">=6 refs";
-  pt.wall_seconds = bench::elapsed_s(opt);
-  pt.rows.push_back(std::move(row_stats));
-  bench::write_report("Figure 3: Coadd file access distribution", "min_refs",
-                      "fraction of files", {pt}, opt);
-  return 0;
+  return wcs::scenario::scenario_main("fig3_cdf", argc, argv);
 }

@@ -1,47 +1,11 @@
-// Reproduces paper Figure 4: makespan of each algorithm with data-server
-// capacities of 3000, 6000, 15000, and 30000 files (Table 1 defaults
-// otherwise: 10 sites, 1 worker/site, 25 MB files).
+// Reproduces paper Figure 4: makespan vs data-server capacity.
 //
-// Expected shape (paper Sec. 5.4): storage affinity suffers at small
-// capacities (premature scheduling decisions) and becomes comparable as
-// capacity grows; overlap is the worst worker-centric metric; the
-// randomized variants are best; worker-centric metrics are nearly flat in
-// capacity because a task's working set is small.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig4_capacity"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  auto seeds = opt.topology_seeds();
-
-  std::vector<std::size_t> capacities{3000, 6000, 15000, 30000};
-  std::vector<bench::SweepPoint> points;
-  for (std::size_t cap : capacities) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.capacity_files = cap;
-    bench::SweepPoint pt;
-    pt.x = static_cast<double>(cap);
-    pt.x_label = std::to_string(cap);
-    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
-      bench::progress("capacity " + pt.x_label + ": " + s);
-    }, opt.jobs);
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
-                                                job);
-  bench::emit_series("Figure 4: makespan vs data-server capacity",
-                     "capacity_files", points,
-                     [](const metrics::AveragedResult& r) {
-                       return r.makespan_minutes;
-                     },
-                     "makespan (minutes)", opt,
-                     phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("fig4_capacity", argc, argv);
 }

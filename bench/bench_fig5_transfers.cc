@@ -1,44 +1,11 @@
-// Reproduces paper Figure 5: number of file transfers (per data server,
-// averaged over sites — see DESIGN.md §4 note) with different capacities.
+// Reproduces paper Figure 5: file transfers vs data-server capacity.
 //
-// Expected shape (paper Sec. 5.4): overlap usually has a higher number of
-// file transfers than the other worker-centric metrics; storage affinity
-// transfers fall with capacity as premature decisions stop being punished.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig5_transfers"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  auto seeds = opt.topology_seeds();
-
-  std::vector<std::size_t> capacities{3000, 6000, 15000, 30000};
-  std::vector<bench::SweepPoint> points;
-  for (std::size_t cap : capacities) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.capacity_files = cap;
-    bench::SweepPoint pt;
-    pt.x = static_cast<double>(cap);
-    pt.x_label = std::to_string(cap);
-    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
-      bench::progress("capacity " + pt.x_label + ": " + s);
-    }, opt.jobs);
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
-                                                job);
-  bench::emit_series("Figure 5: file transfers vs data-server capacity",
-                     "capacity_files", points,
-                     [](const metrics::AveragedResult& r) {
-                       return r.transfers_per_site;
-                     },
-                     "file transfers per data server", opt,
-                     phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("fig5_transfers", argc, argv);
 }

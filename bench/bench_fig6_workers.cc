@@ -1,46 +1,11 @@
-// Reproduces paper Figure 6: makespan with different numbers of workers
-// per site (2..10; capacity 6000, 10 sites).
+// Reproduces paper Figure 6: makespan vs workers per site.
 //
-// Expected shape (paper Sec. 5.5): makespan flattens (sometimes worsens)
-// as workers are added, because the serial data server becomes the
-// contention point; worker-centric metrics win at small worker counts,
-// storage affinity catches up at large ones.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig6_workers"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  auto seeds = opt.topology_seeds();
-
-  std::vector<int> worker_counts{2, 3, 4, 5, 6, 7, 8, 9, 10};
-  if (opt.fast) worker_counts = {2, 4, 6, 8, 10};
-  std::vector<bench::SweepPoint> points;
-  for (int workers : worker_counts) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.tiers.workers_per_site = workers;
-    bench::SweepPoint pt;
-    pt.x = workers;
-    pt.x_label = std::to_string(workers);
-    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
-      bench::progress(pt.x_label + " workers/site: " + s);
-    }, opt.jobs);
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
-                                                job);
-  bench::emit_series("Figure 6: makespan vs workers per site",
-                     "workers_per_site", points,
-                     [](const metrics::AveragedResult& r) {
-                       return r.makespan_minutes;
-                     },
-                     "makespan (minutes)", opt,
-                     phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("fig6_workers", argc, argv);
 }

@@ -1,45 +1,11 @@
-// Reproduces paper Figure 7: makespan with different numbers of sites
-// (10..26; capacity 6000, 1 worker/site).
+// Reproduces paper Figure 7: makespan vs number of sites.
 //
-// Expected shape (paper Sec. 5.6): makespan falls as sites are added;
-// combined.2 performs best; randomized variants beat their deterministic
-// counterparts.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig7_sites"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  auto seeds = opt.topology_seeds();
-
-  std::vector<int> site_counts{10, 14, 18, 22, 26};
-  if (opt.fast) site_counts = {10, 18, 26};
-  std::vector<bench::SweepPoint> points;
-  for (int sites : site_counts) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.tiers.num_sites = sites;
-    bench::SweepPoint pt;
-    pt.x = sites;
-    pt.x_label = std::to_string(sites);
-    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
-      bench::progress(pt.x_label + " sites: " + s);
-    }, opt.jobs);
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases = bench::trace_representative_run(opt, bench::paper_config(opt),
-                                                job);
-  bench::emit_series("Figure 7: makespan vs number of sites", "num_sites",
-                     points,
-                     [](const metrics::AveragedResult& r) {
-                       return r.makespan_minutes;
-                     },
-                     "makespan (minutes)", opt,
-                     phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("fig7_sites", argc, argv);
 }

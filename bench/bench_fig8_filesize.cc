@@ -1,43 +1,11 @@
-// Reproduces paper Figure 8: makespan with different file sizes (5, 25,
-// 50 MB; Table 1 defaults otherwise).
+// Reproduces paper Figure 8: makespan vs file size.
 //
-// Expected shape (paper Sec. 5.7): makespan grows almost linearly with
-// file size, the algorithm ordering is preserved, combined.2 is best.
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "fig8_filesize"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  auto seeds = opt.topology_seeds();
-
-  std::vector<double> sizes_mb{5.0, 25.0, 50.0};
-  std::vector<bench::SweepPoint> points;
-  for (double mb : sizes_mb) {
-    // File size lives in the catalog, so the workload is regenerated per
-    // point (same seed: identical task -> file structure, new sizes).
-    workload::Job job = bench::paper_workload(opt, megabytes(mb));
-    grid::GridConfig c = bench::paper_config(opt);
-    bench::SweepPoint pt;
-    pt.x = mb;
-    pt.x_label = std::to_string(static_cast<int>(mb)) + "MB";
-    pt.rows = grid::run_matrix(c, job, specs, seeds, [&](const std::string& s) {
-      bench::progress(pt.x_label + ": " + s);
-    }, opt.jobs);
-    pt.wall_seconds = bench::elapsed_s(opt);
-    points.push_back(std::move(pt));
-  }
-
-  auto phases = bench::trace_representative_run(
-      opt, bench::paper_config(opt), bench::paper_workload(opt));
-  bench::emit_series("Figure 8: makespan vs file size", "file_size", points,
-                     [](const metrics::AveragedResult& r) {
-                       return r.makespan_minutes;
-                     },
-                     "makespan (minutes)", opt,
-                     phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("fig8_filesize", argc, argv);
 }

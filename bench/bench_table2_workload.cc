@@ -1,58 +1,11 @@
 // Reproduces paper Table 2: characteristics of Coadd with 6,000 tasks.
 //
-//   Total number of files                53390
-//   Max number of files needed by a task   101
-//   Min number of files needed by a task    36
-//   Average number of files per task      78.4327
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
-#include "workload/coadd.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "table2_workload"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  workload::JobStats stats = workload::compute_stats(job);
-
-  std::cout << "Table 2. Characteristics of Coadd with " << stats.num_tasks
-            << " tasks (synthetic generator; paper values in parentheses)\n\n";
-  auto row = [](const std::string& label, double ours, const char* paper) {
-    std::cout << "  " << std::left << std::setw(44) << label << std::right
-              << std::setw(12) << std::fixed << std::setprecision(4) << ours
-              << "   (paper: " << paper << ")\n";
-  };
-  row("Total number of files",
-      static_cast<double>(stats.distinct_files), "53390");
-  row("Max number of files needed by a task",
-      static_cast<double>(stats.max_files_per_task), "101");
-  row("Min number of files needed by a task",
-      static_cast<double>(stats.min_files_per_task), "36");
-  row("Average number of files needed by a task", stats.avg_files_per_task,
-      "78.4327");
-
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.header({"metric", "value"});
-    csv.row("total_files", stats.distinct_files);
-    csv.row("max_files_per_task", stats.max_files_per_task);
-    csv.row("min_files_per_task", stats.min_files_per_task);
-    csv.row("avg_files_per_task", stats.avg_files_per_task);
-  }
-
-  // No simulations here: the run report records config/wall time plus a
-  // placeholder row so the schema-checked artifact set stays complete.
-  metrics::AveragedResult row_stats;
-  row_stats.scheduler = "workload-stats";
-  row_stats.runs = 1;
-  bench::SweepPoint pt;
-  pt.x = static_cast<double>(stats.num_tasks);
-  pt.x_label = std::to_string(stats.num_tasks) + " tasks";
-  pt.wall_seconds = bench::elapsed_s(opt);
-  pt.rows.push_back(std::move(row_stats));
-  bench::write_report("Table 2: Coadd workload characteristics", "tasks",
-                      "files per task", {pt}, opt);
-  return 0;
+  return wcs::scenario::scenario_main("table2_workload", argc, argv);
 }

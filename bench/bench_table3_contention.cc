@@ -1,64 +1,11 @@
-// Reproduces paper Table 3: the rest metric's per-site data-server
-// behaviour at 2, 4, 6, and 8 workers per site — average waiting time
-// (hours), transfer time (hours), and number of file transfers.
+// Reproduces paper Table 3: rest metric per-site waiting/transfer times.
 //
-// Expected shape (paper Sec. 5.5): transfers and transfer time fall
-// monotonically with more workers (more sharing), but waiting time peaks
-// at an intermediate worker count — the serial data server's queue is the
-// bottleneck.
-#include <iomanip>
-#include <iostream>
-
-#include "bench_util.h"
+// Thin shim: the full scenario definition (sweep axis, schedulers,
+// expected shape) lives in the catalog (src/scenario/catalog.h) under
+// the name "table3_contention"; run with --help for the shared flag set or
+// --list-scenarios for every registered artifact.
+#include "scenario/cli.h"
 
 int main(int argc, char** argv) {
-  using namespace wcs;
-  bench::BenchOptions opt = bench::parse_options(argc, argv);
-
-  workload::Job job = bench::paper_workload(opt);
-  sched::SchedulerSpec rest;
-  rest.algorithm = sched::Algorithm::kRest;
-  auto seeds = opt.topology_seeds();
-
-  std::cout << "Table 3. rest metric, per-site averages (paper trend: "
-               "waiting peaks mid, transfers fall)\n\n";
-  std::cout << std::left << std::setw(12) << "workers" << std::right
-            << std::setw(18) << "waiting (hrs)" << std::setw(18)
-            << "transfer (hrs)" << std::setw(20) << "# file transfers"
-            << '\n';
-
-  std::vector<std::array<double, 4>> rows;
-  std::vector<bench::SweepPoint> points;
-  for (int workers : {2, 4, 6, 8}) {
-    grid::GridConfig c = bench::paper_config(opt);
-    c.tiers.workers_per_site = workers;
-    auto avg = grid::run_averaged(c, job, rest, seeds, opt.jobs);
-    std::cout << std::left << std::setw(12) << workers << std::right
-              << std::fixed << std::setprecision(2) << std::setw(18)
-              << avg.waiting_hours_per_site << std::setw(18)
-              << avg.transfer_hours_per_site << std::setw(20)
-              << std::setprecision(1) << avg.transfers_per_site << '\n';
-    rows.push_back({static_cast<double>(workers), avg.waiting_hours_per_site,
-                    avg.transfer_hours_per_site, avg.transfers_per_site});
-    bench::SweepPoint pt;
-    pt.x = workers;
-    pt.x_label = std::to_string(workers) + " workers";
-    pt.wall_seconds = bench::elapsed_s(opt);
-    pt.rows.push_back(std::move(avg));
-    points.push_back(std::move(pt));
-  }
-
-  if (opt.csv_path) {
-    CsvWriter csv(*opt.csv_path);
-    csv.header({"workers", "waiting_hours", "transfer_hours",
-                "file_transfers"});
-    for (const auto& r : rows) csv.row(r[0], r[1], r[2], r[3]);
-  }
-
-  auto phases =
-      bench::trace_representative_run(opt, bench::paper_config(opt), job);
-  bench::write_report("Table 3: rest metric per-site contention",
-                      "workers_per_site", "waiting (hours)", points, opt,
-                      phases ? &*phases : nullptr);
-  return 0;
+  return wcs::scenario::scenario_main("table3_contention", argc, argv);
 }

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <string>
+#include <utility>
 
-#include "common/log.h"
+#include "common/rng.h"
 
 namespace wcs::grid {
 
@@ -18,38 +18,15 @@ GridSimulation::GridSimulation(const GridConfig& config,
       grid_topo_(net::build_tiers_topology(config.tiers)) {
   WCS_CHECK(scheduler_ != nullptr);
   validate_config(config_, job_);
-  flows_ = std::make_unique<net::FlowManager>(sim_, grid_topo_.topology);
 
+  // Dynamic-estimate error factors for the XSufferage/MCT baselines
+  // (GridConfig::estimate_error; empty = exact). Bandwidth and CPU draws
+  // interleave per site from one RNG stream — the draw order is part of
+  // the deterministic contract, so the vectors are produced here and
+  // handed to the planes that serve them.
+  std::vector<double> bandwidth_error;
+  std::vector<double> mflops_error;
   const auto num_sites = static_cast<std::size_t>(config_.tiers.num_sites);
-  data_servers_.reserve(num_sites);
-  for (std::size_t s = 0; s < num_sites; ++s) {
-    data_servers_.push_back(std::make_unique<storage::DataServer>(
-        SiteId(static_cast<SiteId::underlying_type>(s)), sim_, *flows_,
-        grid_topo_.data_server_nodes[s], grid_topo_.file_server_node,
-        job_.catalog, config_.capacity_files, config_.eviction));
-  }
-
-  if (config_.replication) {
-    std::vector<storage::DataServer*> servers;
-    servers.reserve(data_servers_.size());
-    for (const auto& ds : data_servers_) servers.push_back(ds.get());
-    replicator_ = std::make_unique<replication::DataReplicator>(
-        *config_.replication, sim_, *flows_, grid_topo_.file_server_node,
-        job_.catalog, std::move(servers));
-    for (const auto& ds : data_servers_)
-      ds->set_transfer_listener(
-          [this](FileId f) { replicator_->on_file_fetched(f); });
-  }
-
-  if (config_.churn) {
-    WCS_CHECK_MSG(config_.churn->mean_uptime_s > 0 &&
-                      config_.churn->mean_downtime_s > 0,
-                  "churn times must be positive");
-    churn_rng_ = std::make_unique<Rng>(config_.churn->seed *
-                                           0x9e3779b97f4a7c15ULL ^
-                                       config_.tiers.seed);
-  }
-
   if (config_.estimate_error > 0) {
     Rng estimate_rng(config_.estimate_seed * 0x9e3779b97f4a7c15ULL ^
                      config_.tiers.seed);
@@ -58,399 +35,65 @@ GridSimulation::GridSimulation(const GridConfig& config,
       return std::exp(estimate_rng.uniform_real(-hi, hi));
     };
     for (std::size_t s = 0; s < num_sites; ++s) {
-      bandwidth_estimate_error_.push_back(draw());
-      mflops_estimate_error_.push_back(draw());
+      bandwidth_error.push_back(draw());
+      mflops_error.push_back(draw());
     }
   }
 
-  Rng speed_rng(config_.effective_speed_seed());
-  const auto per_site =
-      static_cast<std::size_t>(config_.tiers.workers_per_site);
-  workers_.resize(num_sites * per_site);
-  for (std::size_t s = 0; s < num_sites; ++s) {
-    for (std::size_t w = 0; w < per_site; ++w) {
-      std::size_t idx = s * per_site + w;
-      WorkerRuntime& rt = workers_[idx];
-      rt.info.id = WorkerId(static_cast<WorkerId::underlying_type>(idx));
-      rt.info.site = SiteId(static_cast<SiteId::underlying_type>(s));
-      rt.info.node = grid_topo_.worker_nodes[s][w];
-      rt.info.mflops = compute::sample_worker_mflops(speed_rng);
-      rt.control_latency = grid_topo_.topology.path_latency(
-          rt.info.node, grid_topo_.scheduler_node);
-    }
+  data_ = std::make_unique<DataPlane>(config_, job_, grid_topo_, sim_,
+                                      std::move(bandwidth_error));
+
+  const std::size_t num_workers =
+      num_sites * static_cast<std::size_t>(config_.tiers.workers_per_site);
+  telemetry_ = std::make_unique<EngineTelemetry>(config_, num_workers);
+  ControlPlane::Hooks hooks;
+  if (telemetry_->recording()) {
+    hooks.trace = [this](metrics::TimelineEventKind kind, TaskId task,
+                         WorkerId worker) {
+      telemetry_->record(sim_.now(), kind, task, worker);
+    };
   }
+  hooks.on_all_tasks_completed = [this] {
+    data_->stop_replication();  // no more scans; drain cleanly
+    if (fault_) fault_->stop();
+  };
+  const FaultPlane::TraceFn fault_trace = hooks.trace;
+  control_ = std::make_unique<ControlPlane>(config_, job_, grid_topo_, sim_,
+                                            *data_, *scheduler_,
+                                            std::move(mflops_error),
+                                            std::move(hooks));
+  if (config_.churn)
+    fault_ = std::make_unique<FaultPlane>(config_, sim_, *control_,
+                                          *scheduler_, fault_trace);
 
-  completed_.assign(job_.num_tasks(), 0);
-  instances_.assign(job_.num_tasks(), {});
-  completion_counts_.assign(job_.num_tasks(), 0);
-  if (config_.record_timeline)
-    timeline_ = std::make_unique<metrics::TimelineRecorder>();
-
-  if (config_.obs.any()) {
-    obs_ = std::make_unique<obs::Observability>(config_.obs);
-    tracer_ = obs_->tracer();
-    sim_.set_profiler(obs_->profiler());
-    flows_->set_observability(obs_.get());
-    scheduler_->set_profiler(obs_->profiler());
-    for (const auto& ds : data_servers_)
-      ds->cache().set_obs(obs_->profiler(), tracer_,
-                          [this] { return sim_.now(); },
-                          ds->site().value());
+  if (obs::Observability* o = telemetry_->observability()) {
+    sim_.set_profiler(o->profiler());
+    scheduler_->set_profiler(o->profiler());
+    data_->set_observability(o, sim_);
   }
 }
 
 GridSimulation::~GridSimulation() = default;
 
-SiteId GridSimulation::site_of(WorkerId worker) const {
-  return workers_.at(worker.value()).info.site;
-}
-
-const storage::FileCache& GridSimulation::site_cache(SiteId site) const {
-  return data_servers_.at(site.value())->cache();
-}
-
-void GridSimulation::set_cache_listener(SiteId site,
-                                        storage::CacheListener listener) {
-  data_servers_.at(site.value())->cache().set_listener(std::move(listener));
-}
-
-const storage::DataServer& GridSimulation::data_server(SiteId site) const {
-  return *data_servers_.at(site.value());
-}
-
-const compute::Worker& GridSimulation::worker_info(WorkerId worker) const {
-  return workers_.at(worker.value()).info;
-}
-
-bool GridSimulation::worker_alive(WorkerId worker) const {
-  return workers_.at(worker.value()).state != WorkerState::kOffline;
-}
-
-std::size_t GridSimulation::worker_backlog(WorkerId worker) const {
-  const WorkerRuntime& rt = workers_.at(worker.value());
-  std::size_t backlog = rt.queue.size();
-  if (rt.state == WorkerState::kFetching ||
-      rt.state == WorkerState::kComputing)
-    ++backlog;
-  return backlog;
-}
-
-double GridSimulation::estimated_uplink_bandwidth(SiteId site) const {
-  double exact =
-      grid_topo_.topology.link(grid_topo_.site_uplinks[site.value()])
-          .bandwidth_bps;
-  if (bandwidth_estimate_error_.empty()) return exact;
-  return exact * bandwidth_estimate_error_[site.value()];
-}
-
-double GridSimulation::estimated_site_mflops(SiteId site) const {
-  const auto per_site =
-      static_cast<std::size_t>(config_.tiers.workers_per_site);
-  double total = 0;
-  for (std::size_t w = 0; w < per_site; ++w)
-    total += workers_[site.value() * per_site + w].info.mflops;
-  double exact = total / static_cast<double>(per_site);
-  if (mflops_estimate_error_.empty()) return exact;
-  return exact * mflops_estimate_error_[site.value()];
-}
-
-std::size_t GridSimulation::data_server_backlog(SiteId site) const {
-  const storage::DataServer& ds = *data_servers_[site.value()];
-  return ds.queue_length() + (ds.busy() ? 1 : 0);
-}
-
-void GridSimulation::schedule_failure(WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  SimTime uptime = churn_rng_->exponential(1.0 / config_.churn->mean_uptime_s);
-  rt.churn_event =
-      sim_.schedule_in(uptime, [this, worker] { fail_worker(worker); });
-}
-
-void GridSimulation::fail_worker(WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state != WorkerState::kOffline);
-  ++failures_;
-
-  // Withdraw every task instance this worker holds.
-  std::vector<TaskId> lost;
-  if (rt.state == WorkerState::kFetching) {
-    bool cancelled =
-        data_servers_[rt.info.site.value()]->cancel_batch(rt.current, worker);
-    WCS_CHECK(cancelled);
-    lost.push_back(rt.current);
-  } else if (rt.state == WorkerState::kComputing) {
-    WCS_CHECK(sim_.cancel(rt.compute_event));
-    rt.compute_event = EventId::invalid();
-    data_servers_[rt.info.site.value()]->release(rt.current, worker);
-    lost.push_back(rt.current);
-  }
-  for (TaskId t : rt.queue) lost.push_back(t);
-  rt.queue.clear();
-  rt.current = TaskId::invalid();
-  for (TaskId t : lost) {
-    auto& inst = instances_[t.value()];
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
-    trace(metrics::TimelineEventKind::kCancelled, t, worker);
-  }
-  instances_lost_ += lost.size();
-  rt.state = WorkerState::kOffline;
-  trace(metrics::TimelineEventKind::kWorkerFailed, TaskId::invalid(), worker);
-
-  SimTime downtime =
-      churn_rng_->exponential(1.0 / config_.churn->mean_downtime_s);
-  rt.churn_event =
-      sim_.schedule_in(downtime, [this, worker] { recover_worker(worker); });
-
-  scheduler_->on_worker_failed(worker, lost);
-}
-
-void GridSimulation::recover_worker(WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kOffline);
-  ++recoveries_;
-  rt.state = WorkerState::kIdle;
-  trace(metrics::TimelineEventKind::kWorkerRecovered, TaskId::invalid(),
-        worker);
-  schedule_failure(worker);
-  go_idle(worker);
-}
-
-void GridSimulation::stop_churn() {
-  for (WorkerRuntime& rt : workers_) {
-    if (rt.churn_event.valid()) {
-      sim_.cancel(rt.churn_event);
-      rt.churn_event = EventId::invalid();
-    }
-  }
-}
-
-bool GridSimulation::has_instance(TaskId task, WorkerId worker) const {
-  const auto& v = instances_.at(task.value());
-  return std::find(v.begin(), v.end(), worker) != v.end();
-}
-
-void GridSimulation::assign_task(TaskId task, WorkerId worker) {
-  WCS_CHECK(task.valid() && task.value() < job_.num_tasks());
-  WCS_CHECK(worker.valid() && worker.value() < workers_.size());
-  WCS_CHECK_MSG(!completed_[task.value()],
-                "assignment of completed task " << task);
-  WCS_CHECK_MSG(worker_alive(worker),
-                "assignment to offline worker " << worker);
-  WCS_CHECK_MSG(!has_instance(task, worker),
-                "task " << task << " already placed on worker " << worker);
-
-  if (!instances_[task.value()].empty()) ++replicas_started_;
-  instances_[task.value()].push_back(worker);
-  ++assignments_;
-  trace(metrics::TimelineEventKind::kAssigned, task, worker);
-
-  WorkerRuntime& rt = workers_[worker.value()];
-  rt.queue.push_back(task);
-  // The assignment message travels scheduler -> worker; when it lands, an
-  // idle (or still-requesting) worker starts its queue head.
-  sim_.schedule_in(rt.control_latency, [this, worker] {
-    WorkerRuntime& w = workers_[worker.value()];
-    if (w.state == WorkerState::kIdle || w.state == WorkerState::kRequesting)
-      start_next(worker);
-  });
-}
-
-void GridSimulation::start_next(WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kIdle ||
-            rt.state == WorkerState::kRequesting);
-  if (rt.queue.empty()) return;
-  TaskId task = rt.queue.front();
-  rt.queue.pop_front();
-  rt.current = task;
-  rt.state = WorkerState::kFetching;
-  trace(metrics::TimelineEventKind::kFetchStart, task, worker);
-  const workload::Task& t = job_.task(task);
-  data_servers_[rt.info.site.value()]->request_batch(
-      task, worker, t.files, [this, worker, task] {
-        files_ready(worker, task);
-      });
-}
-
-void GridSimulation::files_ready(WorkerId worker, TaskId task) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kFetching);
-  WCS_CHECK_EQ(rt.current, task);
-  rt.state = WorkerState::kComputing;
-  trace(metrics::TimelineEventKind::kExecStart, task, worker);
-  SimTime compute = rt.info.compute_time_s(job_.task(task).mflop);
-  rt.compute_event = sim_.schedule_in(
-      compute, [this, worker, task] { finish_task(worker, task); });
-}
-
-void GridSimulation::finish_task(WorkerId worker, TaskId task) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  WCS_CHECK(rt.state == WorkerState::kComputing);
-  WCS_CHECK_EQ(rt.current, task);
-  WCS_CHECK_MSG(!completed_[task.value()],
-                "task " << task << " completed twice");
-  rt.compute_event = EventId::invalid();
-  data_servers_[rt.info.site.value()]->release(task, worker);
-
-  completed_[task.value()] = 1;
-  ++completed_count_;
-  last_completion_ = sim_.now();
-  ++completion_counts_[task.value()];
-  audit_max_completion_ = std::max(audit_max_completion_, sim_.now());
-  trace(metrics::TimelineEventKind::kCompleted, task, worker);
-  if (completed_count_ == job_.num_tasks()) {
-    if (replicator_) replicator_->stop();  // no more scans; drain cleanly
-    stop_churn();
-  }
-  auto& inst = instances_[task.value()];
-  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
-
-  WCS_TRACE("task " << task << " done on worker " << worker << " at "
-                    << sim_.now() << "s (" << completed_count_ << "/"
-                    << job_.num_tasks() << ")");
-  // The scheduler may cancel sibling replicas here (storage affinity).
-  scheduler_->on_task_completed(task, worker);
-  go_idle(worker);
-}
-
-bool GridSimulation::cancel_task(TaskId task, WorkerId worker) {
-  if (!has_instance(task, worker)) return false;
-  WorkerRuntime& rt = workers_[worker.value()];
-  auto& inst = instances_[task.value()];
-
-  if (rt.current == task && rt.state == WorkerState::kFetching) {
-    bool cancelled =
-        data_servers_[rt.info.site.value()]->cancel_batch(task, worker);
-    WCS_CHECK_MSG(cancelled, "fetching task had no batch at the data server");
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
-    ++replicas_cancelled_;
-    trace(metrics::TimelineEventKind::kCancelled, task, worker);
-    go_idle(worker);
-    return true;
-  }
-  if (rt.current == task && rt.state == WorkerState::kComputing) {
-    WCS_CHECK(sim_.cancel(rt.compute_event));
-    rt.compute_event = EventId::invalid();
-    data_servers_[rt.info.site.value()]->release(task, worker);
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
-    ++replicas_cancelled_;
-    trace(metrics::TimelineEventKind::kCancelled, task, worker);
-    go_idle(worker);
-    return true;
-  }
-  // Still queued at the worker.
-  auto qit = std::find(rt.queue.begin(), rt.queue.end(), task);
-  if (qit == rt.queue.end()) return false;
-  rt.queue.erase(qit);
-  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
-  ++replicas_cancelled_;
-  trace(metrics::TimelineEventKind::kCancelled, task, worker);
-  return true;
-}
-
-void GridSimulation::go_idle(WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  rt.current = TaskId::invalid();
-  rt.state = WorkerState::kIdle;
-  if (!rt.queue.empty()) {
-    start_next(worker);
-    return;
-  }
-  // Pull path: ask the scheduler for work after the request latency.
-  rt.state = WorkerState::kRequesting;
-  sim_.schedule_in(rt.control_latency, [this, worker] {
-    WorkerRuntime& w = workers_[worker.value()];
-    // A queued assignment may have raced ahead of the request.
-    if (w.state != WorkerState::kRequesting) return;
-    scheduler_->on_worker_idle(worker);
-  });
-}
-
-void GridSimulation::obs_trace(metrics::TimelineEventKind kind, TaskId task,
-                               WorkerId worker) {
-  WorkerRuntime& rt = workers_[worker.value()];
-  obs::TraceSpan span;
-  span.start = sim_.now();
-  span.track = worker.value();
-  span.task = task;
-  switch (kind) {
-    case metrics::TimelineEventKind::kAssigned:
-      span.kind = obs::SpanKind::kAssign;
-      break;
-    case metrics::TimelineEventKind::kFetchStart:
-      // Opens the fetch span; closed (and recorded) at exec-start.
-      rt.fetch_started = sim_.now();
-      return;
-    case metrics::TimelineEventKind::kExecStart:
-      span.kind = obs::SpanKind::kFetch;
-      span.start = rt.fetch_started;
-      span.duration_s = sim_.now() - rt.fetch_started;
-      rt.exec_started = sim_.now();
-      break;
-    case metrics::TimelineEventKind::kCompleted: {
-      obs::TraceSpan compute;
-      compute.start = rt.exec_started;
-      compute.duration_s = sim_.now() - rt.exec_started;
-      compute.kind = obs::SpanKind::kCompute;
-      compute.track = worker.value();
-      compute.task = task;
-      tracer_->record(compute);
-      span.kind = obs::SpanKind::kComplete;
-      break;
-    }
-    case metrics::TimelineEventKind::kCancelled:
-      span.kind = obs::SpanKind::kCancelled;
-      break;
-    case metrics::TimelineEventKind::kWorkerFailed:
-      span.kind = obs::SpanKind::kWorkerFailed;
-      break;
-    case metrics::TimelineEventKind::kWorkerRecovered:
-      span.kind = obs::SpanKind::kWorkerRecovered;
-      break;
-  }
-  tracer_->record(span);
-}
-
-void GridSimulation::populate_registry(const metrics::RunResult& result) {
-  obs::MetricsRegistry& reg = *obs_->metrics();
-  reg.counter("engine.assignments").add(assignments_);
-  reg.counter("engine.replicas_started").add(replicas_started_);
-  reg.counter("engine.replicas_cancelled").add(replicas_cancelled_);
-  reg.counter("engine.tasks_completed").add(completed_count_);
-  reg.counter("engine.worker_failures").add(failures_);
-  reg.counter("engine.worker_recoveries").add(recoveries_);
-  reg.counter("engine.instances_lost").add(instances_lost_);
-  reg.gauge("engine.makespan_s").set(result.makespan_s);
-  reg.counter("sim.events_executed").add(sim_.executed_events());
-  reg.gauge("sim.peak_live_events")
-      .set(static_cast<double>(sim_.peak_live_events()));
-  reg.counter("net.flows_completed").add(flows_->completed_flows());
-  reg.counter("net.flows_cancelled").add(flows_->cancelled_flows());
-  reg.gauge("net.bytes_delivered").set(flows_->bytes_delivered());
-  reg.counter("storage.file_transfers").add(result.total_file_transfers());
-  reg.counter("storage.cache_hits").add(result.total_cache_hits());
-  reg.counter("storage.evictions").add(result.total_evictions());
-  reg.gauge("storage.bytes_transferred")
-      .set(result.total_bytes_transferred());
-}
-
 void GridSimulation::register_audit_checkers() {
   auditor_->add_checker("flow-conservation", [this](auto& out) {
-    audit::check_flow_conservation(flows_->audit_snapshot(), out);
+    audit::check_flow_conservation(data_->flows().audit_snapshot(), out);
   });
   auditor_->add_checker("cache-coherence", [this](auto& out) {
-    for (const auto& ds : data_servers_)
+    for (std::size_t s = 0; s < data_->num_sites(); ++s) {
+      const storage::DataServer& ds =
+          data_->server(SiteId(static_cast<SiteId::underlying_type>(s)));
       audit::check_cache_coherence(
-          ds->cache().audit_snapshot("site " +
-                                     std::to_string(ds->site().value()) +
-                                     " data server"),
+          ds.cache().audit_snapshot(
+              "site " + std::to_string(ds.site().value()) + " data server"),
           out);
+    }
   });
   auditor_->add_checker("index-coherence", [this](auto& out) {
     scheduler_->audit_collect(out);
   });
   auditor_->add_checker("task-lifecycle", [this](auto& out) {
-    audit::check_task_lifecycle(lifecycle_snapshot(), out);
+    audit::check_task_lifecycle(control_->lifecycle_snapshot(drained_), out);
   });
   auditor_->add_checker("event-kernel", [this](auto& out) {
     audit::EventKernelSnapshot snap;
@@ -467,91 +110,42 @@ void GridSimulation::register_audit_checkers() {
   });
 }
 
-audit::TaskLifecycleSnapshot GridSimulation::lifecycle_snapshot() const {
-  audit::TaskLifecycleSnapshot snap;
-  snap.num_tasks = job_.num_tasks();
-  snap.completed_count = completed_count_;
-  snap.completions = completion_counts_;
-  snap.at_drain = drained_;
-
-  // Placement coherence: instances_ and the workers' queues must describe
-  // the same set of (task, worker) holdings.
-  auto defect = [&snap](const std::ostringstream& os) {
-    constexpr std::size_t kMaxDefects = 8;
-    if (snap.placement_defects.size() < kMaxDefects)
-      snap.placement_defects.push_back(os.str());
-  };
-  auto holds = [this](const WorkerRuntime& rt, TaskId t) {
-    if (rt.current == t && (rt.state == WorkerState::kFetching ||
-                            rt.state == WorkerState::kComputing))
-      return true;
-    return std::find(rt.queue.begin(), rt.queue.end(), t) != rt.queue.end();
-  };
-
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    const TaskId t(static_cast<TaskId::underlying_type>(i));
-    for (WorkerId w : instances_[i]) {
-      const WorkerRuntime& rt = workers_[w.value()];
-      if (!holds(rt, t)) {
-        std::ostringstream os;
-        os << "task " << t << " is placed on worker " << w
-           << " but the worker does not hold it (state "
-           << static_cast<int>(rt.state) << ")";
-        defect(os);
-      }
-      if (snap.at_drain) {
-        std::ostringstream os;
-        os << "task " << t << " still placed on worker " << w << " at drain";
-        defect(os);
-      }
-    }
-  }
-  for (const WorkerRuntime& rt : workers_) {
-    const bool running = rt.state == WorkerState::kFetching ||
-                         rt.state == WorkerState::kComputing;
-    if (running && !rt.current.valid()) {
-      std::ostringstream os;
-      os << "worker " << rt.info.id << " is fetching/computing no task";
-      defect(os);
-    }
-    if (running && !has_instance(rt.current, rt.info.id)) {
-      std::ostringstream os;
-      os << "worker " << rt.info.id << " runs task " << rt.current
-         << " without a recorded placement";
-      defect(os);
-    }
-    for (TaskId t : rt.queue) {
-      if (!has_instance(t, rt.info.id)) {
-        std::ostringstream os;
-        os << "worker " << rt.info.id << " queues task " << t
-           << " without a recorded placement";
-        defect(os);
-      }
-    }
-    if (rt.state == WorkerState::kOffline &&
-        (!rt.queue.empty() || rt.current.valid())) {
-      std::ostringstream os;
-      os << "offline worker " << rt.info.id << " still holds work";
-      defect(os);
-    }
-  }
-  return snap;
-}
-
 void GridSimulation::audit_results_ledger(
     const metrics::RunResult& result) const {
   audit::ResultsLedgerSnapshot ledger;
   ledger.makespan_s = result.makespan_s;
-  ledger.max_completion_s = audit_max_completion_;
+  ledger.max_completion_s = control_->audit_max_completion();
   ledger.tasks_completed = result.tasks_completed;
   ledger.num_tasks = job_.num_tasks();
   ledger.reported_bytes =
       result.total_bytes_transferred() + result.bytes_replicated;
-  ledger.delivered_bytes = flows_->bytes_delivered();
+  ledger.delivered_bytes = data_->flows().bytes_delivered();
   std::vector<audit::Violation> violations;
   audit::check_results_ledger(ledger, violations);
   audit::throw_if_violations("results ledger at end of run",
                              std::move(violations));
+}
+
+metrics::RunResult GridSimulation::assemble_result() const {
+  metrics::RunResult result;
+  result.scheduler = scheduler_->name();
+  result.makespan_s = control_->last_completion();
+  result.tasks_completed = control_->tasks_completed();
+  result.assignments = control_->assignments();
+  result.replicas_started = control_->replicas_started();
+  result.replicas_cancelled = control_->replicas_cancelled();
+  result.events_executed = sim_.executed_events();
+  if (const replication::DataReplicator* r = data_->replicator()) {
+    result.files_replicated = r->stats().files_replicated;
+    result.bytes_replicated = r->stats().bytes_replicated;
+  }
+  if (fault_) {
+    result.worker_failures = fault_->failures();
+    result.worker_recoveries = fault_->recoveries();
+    result.instances_lost = fault_->instances_lost();
+  }
+  result.sites = data_->site_results();
+  return result;
 }
 
 metrics::RunResult GridSimulation::run() {
@@ -560,10 +154,9 @@ metrics::RunResult GridSimulation::run() {
 
   scheduler_->attach(*this);
   scheduler_->on_job_submitted();
-  if (replicator_) replicator_->start();
-  for (WorkerRuntime& rt : workers_) go_idle(rt.info.id);
-  if (config_.churn)
-    for (WorkerRuntime& rt : workers_) schedule_failure(rt.info.id);
+  data_->start_replication();
+  control_->start();
+  if (fault_) fault_->start();
 
   if (config_.audit) {
     auditor_ = std::make_unique<audit::InvariantAuditor>();
@@ -585,52 +178,19 @@ metrics::RunResult GridSimulation::run() {
     sim_.run();
   }
 
-  WCS_CHECK_MSG(completed_count_ == job_.num_tasks(),
-                "simulation drained with " << completed_count_ << "/"
-                                           << job_.num_tasks()
-                                           << " tasks complete — scheduler "
-                                           << scheduler_->name()
-                                           << " lost tasks");
+  WCS_CHECK_MSG(control_->tasks_completed() == job_.num_tasks(),
+                "simulation drained with "
+                    << control_->tasks_completed() << "/" << job_.num_tasks()
+                    << " tasks complete — scheduler " << scheduler_->name()
+                    << " lost tasks");
 
-  metrics::RunResult result;
-  result.scheduler = scheduler_->name();
-  result.makespan_s = last_completion_;
-  result.tasks_completed = completed_count_;
-  result.assignments = assignments_;
-  result.replicas_started = replicas_started_;
-  result.replicas_cancelled = replicas_cancelled_;
-  result.events_executed = sim_.executed_events();
-  if (replicator_) {
-    result.files_replicated = replicator_->stats().files_replicated;
-    result.bytes_replicated = replicator_->stats().bytes_replicated;
-  }
-  result.worker_failures = failures_;
-  result.worker_recoveries = recoveries_;
-  result.instances_lost = instances_lost_;
-  result.sites.reserve(data_servers_.size());
-  for (const auto& ds : data_servers_) {
-    const storage::DataServer::Stats& s = ds->stats();
-    metrics::SiteResult site;
-    site.batches_served = s.batches_served;
-    site.batches_cancelled = s.batches_cancelled;
-    site.waiting_s = s.waiting_s;
-    site.transfer_s = s.transfer_s;
-    site.file_transfers = s.file_transfers;
-    site.bytes_transferred = s.bytes_transferred;
-    site.cache_hits = s.cache_hits;
-    site.evictions = ds->cache().evictions();
-    result.sites.push_back(site);
-  }
+  metrics::RunResult result = assemble_result();
   if (auditor_) {
     drained_ = true;
     auditor_->check("end of run");
     audit_results_ledger(result);
   }
-  if (obs_) {
-    obs::ScopedPhase phase(obs_->profiler(), obs::Phase::kReporting);
-    if (obs_->metrics()) populate_registry(result);
-    obs_->finish();
-  }
+  telemetry_->finish_run(result, sim_, data_->flows());
   return result;
 }
 

@@ -1,46 +1,38 @@
-// GridSimulation: the experiment substrate.
+// GridSimulation: the composition root of one experiment run.
 //
-// Wires together the event kernel, a Tiers topology, the flow-level
-// network, per-site data servers, top500-sampled workers, and one
-// scheduler; runs a Bag-of-Tasks job to completion and reports a
+// Wires the event kernel, a Tiers topology, and one scheduler to the
+// three engine planes plus telemetry, and implements sched::GridEngine
+// purely by delegation:
+//
+//   ControlPlane (grid/control_plane.h)  worker FSM, assign/cancel,
+//                                        replica ledger, RPC latency
+//   DataPlane    (grid/data_plane.h)     data servers, flow allocation,
+//                                        cache pin/release, replication
+//   FaultPlane   (grid/fault_plane.h)    churn schedule, fail/recover,
+//                                        lost-instance withdrawal
+//   EngineTelemetry (grid/telemetry.h)   timeline + obs trace/metrics
+//
+// All policy lives in the planes; this class only constructs them in
+// the deterministic order the golden-run suite pins, runs the kernel to
+// drain (optionally under the invariant auditor), and assembles the
 // metrics::RunResult.
-//
-// Worker lifecycle (paper Sec. 2.2/4.1):
-//
-//        +--------- assign_task (queue) ----------+
-//        v                                        |
-//   [Idle] --queue empty--> [Requesting] --on_worker_idle--> scheduler
-//     |                                                      |
-//     +--queue non-empty--> [Fetching] <---- assign ---------+
-//                               |  batch request to the site data server;
-//                               |  serial service + uplink flows
-//                               v
-//                          [Computing]  mflop / worker MFLOPS
-//                               |
-//                          finish: release pins, notify scheduler,
-//                                  back to Idle
-//
-// Control messages (task request / assignment) pay the topology's
-// worker<->scheduler path latency; they carry no payload worth modeling
-// as flows (DESIGN.md §5.6).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "audit/checkers.h"
 #include "audit/invariant_auditor.h"
 #include "common/ids.h"
-#include "common/rng.h"
 #include "common/units.h"
 #include "compute/capacity.h"
 #include "grid/config.h"
+#include "grid/control_plane.h"
+#include "grid/data_plane.h"
+#include "grid/fault_plane.h"
+#include "grid/telemetry.h"
 #include "metrics/results.h"
 #include "metrics/timeline.h"
-#include "net/flow_manager.h"
 #include "net/tiers.h"
 #include "obs/observability.h"
 #include "replication/data_replicator.h"
@@ -62,45 +54,79 @@ class GridSimulation final : public sched::GridEngine {
   // Callable once.
   metrics::RunResult run();
 
-  // --- sched::GridEngine ------------------------------------------------
+  // --- sched::GridEngine (delegation only) ------------------------------
   [[nodiscard]] const workload::Job& job() const override { return job_; }
   [[nodiscard]] std::size_t num_sites() const override {
-    return data_servers_.size();
+    return data_->num_sites();
   }
   [[nodiscard]] std::size_t num_workers() const override {
-    return workers_.size();
+    return control_->num_workers();
   }
-  [[nodiscard]] SiteId site_of(WorkerId worker) const override;
+  [[nodiscard]] SiteId site_of(WorkerId worker) const override {
+    return control_->site_of(worker);
+  }
   [[nodiscard]] const storage::FileCache& site_cache(
-      SiteId site) const override;
+      SiteId site) const override {
+    return data_->site_cache(site);
+  }
   void set_cache_listener(SiteId site,
-                          storage::CacheListener listener) override;
-  void assign_task(TaskId task, WorkerId worker) override;
-  bool cancel_task(TaskId task, WorkerId worker) override;
-  [[nodiscard]] bool worker_alive(WorkerId worker) const override;
-  [[nodiscard]] std::size_t worker_backlog(WorkerId worker) const override;
-  [[nodiscard]] double estimated_uplink_bandwidth(SiteId site) const override;
-  [[nodiscard]] double estimated_site_mflops(SiteId site) const override;
-  [[nodiscard]] std::size_t data_server_backlog(SiteId site) const override;
+                          storage::CacheListener listener) override {
+    data_->set_cache_listener(site, std::move(listener));
+  }
+  void assign_task(TaskId task, WorkerId worker) override {
+    control_->assign_task(task, worker);
+  }
+  bool cancel_task(TaskId task, WorkerId worker) override {
+    return control_->cancel_task(task, worker);
+  }
+  [[nodiscard]] bool worker_alive(WorkerId worker) const override {
+    return control_->worker_alive(worker);
+  }
+  [[nodiscard]] std::size_t worker_backlog(WorkerId worker) const override {
+    return control_->worker_backlog(worker);
+  }
+  [[nodiscard]] double estimated_uplink_bandwidth(
+      SiteId site) const override {
+    return data_->estimated_uplink_bandwidth(site);
+  }
+  [[nodiscard]] double estimated_site_mflops(SiteId site) const override {
+    return control_->estimated_site_mflops(site);
+  }
+  [[nodiscard]] std::size_t data_server_backlog(SiteId site) const override {
+    return data_->backlog(site);
+  }
 
   // --- Introspection ----------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] const storage::DataServer& data_server(SiteId site) const;
-  [[nodiscard]] const compute::Worker& worker_info(WorkerId worker) const;
-  [[nodiscard]] std::size_t tasks_completed() const { return completed_count_; }
+  [[nodiscard]] const storage::DataServer& data_server(SiteId site) const {
+    return data_->server(site);
+  }
+  [[nodiscard]] const compute::Worker& worker_info(WorkerId worker) const {
+    return control_->worker_info(worker);
+  }
+  [[nodiscard]] std::size_t tasks_completed() const {
+    return control_->tasks_completed();
+  }
   [[nodiscard]] bool task_completed(TaskId task) const {
-    return completed_.at(task.value()) != 0;
+    return control_->task_completed(task);
   }
   [[nodiscard]] const sched::Scheduler& scheduler() const {
     return *scheduler_;
   }
+  // The engine planes, for tests and fault-injection experiments.
+  // fault_plane() is null unless GridConfig::churn was set.
+  [[nodiscard]] const ControlPlane& control_plane() const {
+    return *control_;
+  }
+  [[nodiscard]] const DataPlane& data_plane() const { return *data_; }
+  [[nodiscard]] FaultPlane* fault_plane() { return fault_.get(); }
   // Null unless GridConfig::replication was set.
   [[nodiscard]] const replication::DataReplicator* replicator() const {
-    return replicator_.get();
+    return data_->replicator();
   }
   // Null unless GridConfig::record_timeline was set.
   [[nodiscard]] const metrics::TimelineRecorder* timeline() const {
-    return timeline_.get();
+    return telemetry_->timeline();
   }
   // Null unless GridConfig::audit was set; populated during run().
   [[nodiscard]] const audit::InvariantAuditor* auditor() const {
@@ -110,54 +136,13 @@ class GridSimulation final : public sched::GridEngine {
   // populated with end-of-run totals by run(); the tracer fills as the
   // simulation progresses.
   [[nodiscard]] const obs::Observability* observability() const {
-    return obs_.get();
+    return telemetry_->observability();
   }
 
  private:
-  enum class WorkerState : std::uint8_t {
-    kIdle,        // nothing queued, request not (yet) sent
-    kRequesting,  // pull request in flight / waiting for an assignment
-    kFetching,    // batch request at the data server
-    kComputing,   // executing the task
-    kOffline,     // crashed; recovers after the churn downtime
-  };
-
-  struct WorkerRuntime {
-    compute::Worker info;
-    WorkerState state = WorkerState::kIdle;
-    std::deque<TaskId> queue;
-    TaskId current;
-    EventId compute_event;
-    EventId churn_event;          // next failure or recovery
-    SimTime control_latency = 0;  // one-way worker <-> scheduler
-    SimTime fetch_started = 0;    // obs only: current fetch span start
-    SimTime exec_started = 0;     // obs only: current compute span start
-  };
-
-  void go_idle(WorkerId worker);
-  void trace(metrics::TimelineEventKind kind, TaskId task, WorkerId worker) {
-    if (timeline_) timeline_->record(sim_.now(), kind, task, worker);
-    if (tracer_) obs_trace(kind, task, worker);
-  }
-  // Map a lifecycle transition onto obs trace spans (assign/complete/...
-  // instants; fetch and compute become [start, now] spans closed here).
-  void obs_trace(metrics::TimelineEventKind kind, TaskId task,
-                 WorkerId worker);
-  // End-of-run counter/gauge totals for the metrics registry.
-  void populate_registry(const metrics::RunResult& result);
-  void fail_worker(WorkerId worker);
-  void recover_worker(WorkerId worker);
-  void schedule_failure(WorkerId worker);
-  void stop_churn();
-  void start_next(WorkerId worker);
-  void files_ready(WorkerId worker, TaskId task);
-  void finish_task(WorkerId worker, TaskId task);
-  [[nodiscard]] bool has_instance(TaskId task, WorkerId worker) const;
-
-  // --- Invariant auditing (GridConfig::audit) ---------------------------
   void register_audit_checkers();
-  [[nodiscard]] audit::TaskLifecycleSnapshot lifecycle_snapshot() const;
   void audit_results_ledger(const metrics::RunResult& result) const;
+  [[nodiscard]] metrics::RunResult assemble_result() const;
 
   GridConfig config_;
   const workload::Job& job_;
@@ -165,34 +150,14 @@ class GridSimulation final : public sched::GridEngine {
 
   sim::Simulator sim_;
   net::GridTopology grid_topo_;
-  std::unique_ptr<net::FlowManager> flows_;
-  std::vector<std::unique_ptr<storage::DataServer>> data_servers_;
-  std::unique_ptr<replication::DataReplicator> replicator_;
-  std::unique_ptr<metrics::TimelineRecorder> timeline_;
-  std::unique_ptr<obs::Observability> obs_;
-  obs::EventTracer* tracer_ = nullptr;  // cached obs_->tracer()
-  std::vector<WorkerRuntime> workers_;
+  std::unique_ptr<DataPlane> data_;
+  std::unique_ptr<EngineTelemetry> telemetry_;
+  std::unique_ptr<ControlPlane> control_;
+  std::unique_ptr<FaultPlane> fault_;  // null without churn
 
-  std::vector<char> completed_;  // by task id
-  std::vector<std::vector<WorkerId>> instances_;  // active placements
-  std::size_t completed_count_ = 0;
-  SimTime last_completion_ = 0;
-  // Audit-side redundant ledgers, maintained unconditionally (cheap) and
-  // cross-checked against the primary counters when auditing is on.
-  std::vector<std::uint32_t> completion_counts_;  // by task id
-  SimTime audit_max_completion_ = 0;
   std::unique_ptr<audit::InvariantAuditor> auditor_;
   SimTime audit_prev_now_ = 0;
   bool drained_ = false;
-  std::uint64_t assignments_ = 0;
-  std::uint64_t replicas_started_ = 0;
-  std::uint64_t replicas_cancelled_ = 0;
-  std::unique_ptr<Rng> churn_rng_;
-  std::vector<double> bandwidth_estimate_error_;  // per site; empty if exact
-  std::vector<double> mflops_estimate_error_;
-  std::uint64_t failures_ = 0;
-  std::uint64_t recoveries_ = 0;
-  std::uint64_t instances_lost_ = 0;
   bool ran_ = false;
 };
 

@@ -1,0 +1,102 @@
+#include "grid/telemetry.h"
+
+namespace wcs::grid {
+
+EngineTelemetry::EngineTelemetry(const GridConfig& config,
+                                 std::size_t num_workers) {
+  if (config.record_timeline)
+    timeline_ = std::make_unique<metrics::TimelineRecorder>();
+  if (config.obs.any()) {
+    obs_ = std::make_unique<obs::Observability>(config.obs);
+    tracer_ = obs_->tracer();
+  }
+  if (tracer_ != nullptr) spans_.resize(num_workers);
+}
+
+void EngineTelemetry::record(SimTime now, metrics::TimelineEventKind kind,
+                             TaskId task, WorkerId worker) {
+  if (timeline_) timeline_->record(now, kind, task, worker);
+  if (tracer_) record_span(now, kind, task, worker);
+}
+
+void EngineTelemetry::record_span(SimTime now,
+                                  metrics::TimelineEventKind kind,
+                                  TaskId task, WorkerId worker) {
+  WorkerSpans& ws = spans_[worker.value()];
+  obs::TraceSpan span;
+  span.start = now;
+  span.track = worker.value();
+  span.task = task;
+  switch (kind) {
+    case metrics::TimelineEventKind::kAssigned:
+      span.kind = obs::SpanKind::kAssign;
+      break;
+    case metrics::TimelineEventKind::kFetchStart:
+      // Opens the fetch span; closed (and recorded) at exec-start.
+      ws.fetch_started = now;
+      return;
+    case metrics::TimelineEventKind::kExecStart:
+      span.kind = obs::SpanKind::kFetch;
+      span.start = ws.fetch_started;
+      span.duration_s = now - ws.fetch_started;
+      ws.exec_started = now;
+      break;
+    case metrics::TimelineEventKind::kCompleted: {
+      obs::TraceSpan compute;
+      compute.start = ws.exec_started;
+      compute.duration_s = now - ws.exec_started;
+      compute.kind = obs::SpanKind::kCompute;
+      compute.track = worker.value();
+      compute.task = task;
+      tracer_->record(compute);
+      span.kind = obs::SpanKind::kComplete;
+      break;
+    }
+    case metrics::TimelineEventKind::kCancelled:
+      span.kind = obs::SpanKind::kCancelled;
+      break;
+    case metrics::TimelineEventKind::kWorkerFailed:
+      span.kind = obs::SpanKind::kWorkerFailed;
+      break;
+    case metrics::TimelineEventKind::kWorkerRecovered:
+      span.kind = obs::SpanKind::kWorkerRecovered;
+      break;
+  }
+  tracer_->record(span);
+}
+
+void EngineTelemetry::populate_registry(const metrics::RunResult& result,
+                                        const sim::Simulator& sim,
+                                        const net::FlowManager& flows) {
+  obs::MetricsRegistry& reg = *obs_->metrics();
+  reg.counter("engine.assignments").add(result.assignments);
+  reg.counter("engine.replicas_started").add(result.replicas_started);
+  reg.counter("engine.replicas_cancelled").add(result.replicas_cancelled);
+  reg.counter("engine.tasks_completed").add(result.tasks_completed);
+  reg.counter("engine.worker_failures").add(result.worker_failures);
+  reg.counter("engine.worker_recoveries").add(result.worker_recoveries);
+  reg.counter("engine.instances_lost").add(result.instances_lost);
+  reg.gauge("engine.makespan_s").set(result.makespan_s);
+  reg.counter("sim.events_executed").add(sim.executed_events());
+  reg.gauge("sim.peak_live_events")
+      .set(static_cast<double>(sim.peak_live_events()));
+  reg.counter("net.flows_completed").add(flows.completed_flows());
+  reg.counter("net.flows_cancelled").add(flows.cancelled_flows());
+  reg.gauge("net.bytes_delivered").set(flows.bytes_delivered());
+  reg.counter("storage.file_transfers").add(result.total_file_transfers());
+  reg.counter("storage.cache_hits").add(result.total_cache_hits());
+  reg.counter("storage.evictions").add(result.total_evictions());
+  reg.gauge("storage.bytes_transferred")
+      .set(result.total_bytes_transferred());
+}
+
+void EngineTelemetry::finish_run(const metrics::RunResult& result,
+                                 const sim::Simulator& sim,
+                                 const net::FlowManager& flows) {
+  if (!obs_) return;
+  obs::ScopedPhase phase(obs_->profiler(), obs::Phase::kReporting);
+  if (obs_->metrics()) populate_registry(result, sim, flows);
+  obs_->finish();
+}
+
+}  // namespace wcs::grid

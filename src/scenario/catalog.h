@@ -1,0 +1,48 @@
+// Built-in scenario catalog: every table and figure of the paper plus
+// the ablation and extension studies (DESIGN.md §4). One registry entry
+// per artifact:
+//
+//   table2_workload     Table 2   Coadd workload characteristics
+//   fig3_cdf            Fig. 3    file-access CDF of Coadd
+//   fig4_capacity       Fig. 4    makespan vs data-server capacity
+//   fig5_transfers      Fig. 5    file transfers vs capacity
+//   fig6_workers        Fig. 6    makespan vs workers per site
+//   table3_contention   Table 3   rest: per-site waiting/transfer times
+//   fig7_sites          Fig. 7    makespan vs number of sites
+//   fig8_filesize       Fig. 8    makespan vs file size
+//   ablation_combined   A1        combined formula, prose vs verbatim
+//   ablation_choosetask A2        ChooseTask(n) sweep
+//   ablation_eviction   A3        eviction policy x capacity
+//   ablation_baselines  A4        baselines vs estimate quality
+//   ext_replication     E1        data/task replication mechanisms
+//   ext_churn           E2        makespan under worker churn
+//
+// register_builtin_scenarios() is idempotent and must be called before
+// looking any of these up (static registrars would be dropped by the
+// linker from a static library, so registration is explicit).
+#pragma once
+
+#include "scenario/scenario.h"
+
+namespace wcs::scenario {
+
+void register_builtin_scenarios();
+
+namespace detail {
+
+// Paper Table 1 platform defaults (10 sites, 1 worker/site, 6,000-file
+// data servers) — the base every scenario perturbs.
+[[nodiscard]] grid::GridConfig paper_platform();
+
+// The paper's Coadd slice resized to `options.tasks`, default parameters
+// otherwise (25 MB files unless a scenario overrides).
+[[nodiscard]] workload::CoaddParams paper_workload(
+    const BuildOptions& options);
+
+void register_paper_scenarios();      // table2, fig3..fig8, table3
+void register_ablation_scenarios();   // A1..A4
+void register_extension_scenarios();  // E1, E2
+
+}  // namespace detail
+
+}  // namespace wcs::scenario

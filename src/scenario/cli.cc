@@ -1,0 +1,141 @@
+#include "scenario/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "scenario/catalog.h"
+#include "scenario/runner.h"
+#include "scenario/spec_json.h"
+
+namespace wcs::scenario {
+
+namespace {
+
+struct CliOptions {
+  std::string scenario;
+  std::string bench_name = "bench";  // argv[0] basename
+  std::size_t tasks = 6000;
+  bool fast = false;
+  RunOptions run;
+  bool list = false;
+  bool dump = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << message << '\n';
+  std::exit(2);
+}
+
+CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
+  CliOptions opt;
+  opt.scenario = default_scenario;
+  if (argc > 0 && argv[0] != nullptr && *argv[0] != '\0') {
+    std::string self = argv[0];
+    std::size_t slash = self.find_last_of('/');
+    opt.bench_name =
+        slash == std::string::npos ? self : self.substr(slash + 1);
+  }
+  bool no_report = false;
+  if (const char* env = std::getenv("WCS_BENCH_FAST"); env && *env == '1')
+    opt.fast = true;
+  if (const char* env = std::getenv("WCS_BENCH_JOBS"); env && *env)
+    opt.run.jobs = std::stoul(env);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opt.scenario = next();
+    } else if (arg == "--list-scenarios") {
+      opt.list = true;
+    } else if (arg == "--dump-scenario") {
+      opt.dump = true;
+      // Optional value: --dump-scenario NAME selects like --scenario.
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.scenario = argv[++i];
+    } else if (arg == "--tasks") {
+      opt.tasks = std::stoul(next());
+    } else if (arg == "--seeds") {
+      opt.run.seeds = std::stoul(next());
+    } else if (arg == "--jobs") {
+      opt.run.jobs = std::stoul(next());
+    } else if (arg == "--csv") {
+      opt.run.csv_path = next();
+    } else if (arg == "--fast") {
+      opt.fast = true;
+    } else if (arg == "--audit") {
+      opt.run.audit = true;
+    } else if (arg == "--report") {
+      opt.run.report_path = next();
+    } else if (arg == "--no-report") {
+      no_report = true;
+    } else if (arg == "--trace-out") {
+      opt.run.trace_out = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scenario NAME --list-scenarios "
+                   "--dump-scenario [NAME]\n         --tasks N --seeds K "
+                   "--jobs N --csv PATH --fast --audit\n         --report "
+                   "PATH --no-report --trace-out PATH\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+  if (opt.tasks == 0)
+    usage_error("--tasks must be >= 1 (0 would produce an empty sweep)");
+  if (opt.run.seeds == 0)
+    usage_error("--seeds must be >= 1 (0 would produce an empty sweep)");
+  if (opt.run.jobs == 0) opt.run.jobs = 1;
+  if (opt.fast) {
+    opt.tasks = std::min<std::size_t>(opt.tasks, 1500);
+    opt.run.seeds = std::min<std::size_t>(opt.run.seeds, 2);
+  }
+
+  // The report keeps the binary's artifact name when the shim runs its
+  // own scenario (CI consumes results/<bench>.json); a --scenario
+  // override reports under the scenario's name instead.
+  opt.run.report_name =
+      opt.scenario == default_scenario ? opt.bench_name : opt.scenario;
+  if (!opt.run.report_path)
+    opt.run.report_path = "results/" + opt.run.report_name + ".json";
+  if (no_report) opt.run.report_path.reset();
+  opt.run.tasks = opt.tasks;
+  opt.run.fast = opt.fast;
+  return opt;
+}
+
+}  // namespace
+
+int scenario_main(const std::string& default_scenario, int argc,
+                  char** argv) {
+  register_builtin_scenarios();
+  CliOptions opt = parse(default_scenario, argc, argv);
+
+  if (opt.list) {
+    for (const std::string& name : scenario_names())
+      std::cout << name << (name == default_scenario ? " (default)" : "")
+                << "\n    " << scenario_summary(name) << '\n';
+    return 0;
+  }
+  if (!has_scenario(opt.scenario)) {
+    std::cerr << "unknown scenario " << opt.scenario
+              << " (try --list-scenarios)\n";
+    return 2;
+  }
+
+  BuildOptions build;
+  build.tasks = opt.tasks;
+  build.fast = opt.fast;
+  ScenarioSpec spec = build_scenario(opt.scenario, build);
+
+  if (opt.dump) {
+    dump_scenario(spec, std::cout);
+    return 0;
+  }
+  return run_scenario(spec, opt.run);
+}
+
+}  // namespace wcs::scenario

@@ -1,0 +1,110 @@
+#include "scenario/scenario.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace wcs::scenario {
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kMakespanMinutes:
+      return "makespan_minutes";
+    case Metric::kTransfersPerSite:
+      return "transfers_per_site";
+    case Metric::kWaitingHoursPerSite:
+      return "waiting_hours_per_site";
+  }
+  return "unknown";
+}
+
+double metric_value(Metric metric, const metrics::AveragedResult& row) {
+  switch (metric) {
+    case Metric::kMakespanMinutes:
+      return row.makespan_minutes;
+    case Metric::kTransfersPerSite:
+      return row.transfers_per_site;
+    case Metric::kWaitingHoursPerSite:
+      return row.waiting_hours_per_site;
+  }
+  return 0;
+}
+
+namespace {
+
+struct Entry {
+  std::string name;
+  std::string summary;
+  Builder build;
+};
+
+std::vector<Entry>& entries() {
+  static std::vector<Entry> registry;
+  return registry;
+}
+
+const Entry* find_entry(const std::string& name) {
+  for (const Entry& e : entries())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+void register_scenario(const std::string& name, const std::string& summary,
+                       Builder builder) {
+  WCS_CHECK_MSG(!name.empty(), "scenario name must be non-empty");
+  WCS_CHECK_MSG(builder != nullptr, "scenario " << name << " has no builder");
+  WCS_CHECK_MSG(find_entry(name) == nullptr,
+                "scenario " << name << " registered twice");
+  entries().push_back({name, summary, std::move(builder)});
+}
+
+bool has_scenario(const std::string& name) {
+  return find_entry(name) != nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(entries().size());
+  for (const Entry& e : entries()) names.push_back(e.name);
+  return names;
+}
+
+const std::string& scenario_summary(const std::string& name) {
+  const Entry* e = find_entry(name);
+  WCS_CHECK_MSG(e != nullptr, "unknown scenario " << name);
+  return e->summary;
+}
+
+ScenarioSpec build_scenario(const std::string& name,
+                            const BuildOptions& options) {
+  const Entry* e = find_entry(name);
+  WCS_CHECK_MSG(e != nullptr, "unknown scenario " << name);
+  ScenarioSpec spec = e->build(options);
+  WCS_CHECK_MSG(spec.name == name, "scenario " << name
+                                               << " built a spec named "
+                                               << spec.name);
+  if (spec.is_stats()) {
+    WCS_CHECK_MSG(spec.points.empty(),
+                  "stats scenario " << name << " must not declare points");
+  } else {
+    WCS_CHECK_MSG(!spec.points.empty(),
+                  "scenario " << name << " built an empty sweep");
+    WCS_CHECK_MSG(!spec.schedulers.empty() ||
+                      !spec.points.front().schedulers.empty(),
+                  "scenario " << name << " has no schedulers");
+    for (const Point& pt : spec.points) {
+      const std::size_t rows = pt.schedulers.empty() ? spec.schedulers.size()
+                                                     : pt.schedulers.size();
+      WCS_CHECK_MSG(rows > 0, "scenario " << name << " point " << pt.label
+                                          << " has no schedulers");
+      WCS_CHECK_MSG(pt.row_labels.empty() || pt.row_labels.size() == rows,
+                    "scenario " << name << " point " << pt.label
+                                << " row_labels/schedulers mismatch");
+    }
+  }
+  return spec;
+}
+
+}  // namespace wcs::scenario

@@ -1,0 +1,98 @@
+#include "scenario/spec_json.h"
+
+#include <cstdint>
+
+#include "obs/json.h"
+#include "storage/file_cache.h"
+
+namespace wcs::scenario {
+
+namespace {
+
+void write_schedulers(obs::JsonWriter& w,
+                      const std::vector<sched::SchedulerSpec>& specs) {
+  w.begin_array();
+  for (const sched::SchedulerSpec& s : specs) w.value(s.name());
+  w.end_array();
+}
+
+void write_config(obs::JsonWriter& w, const grid::GridConfig& c) {
+  w.begin_object();
+  w.member("num_sites", c.tiers.num_sites);
+  w.member("workers_per_site", c.tiers.workers_per_site);
+  w.member("capacity_files", static_cast<std::uint64_t>(c.capacity_files));
+  w.member("eviction", storage::to_string(c.eviction));
+  w.member("estimate_error", c.estimate_error);
+  w.key("churn");
+  if (c.churn) {
+    w.begin_object();
+    w.member("mean_uptime_s", c.churn->mean_uptime_s);
+    w.member("mean_downtime_s", c.churn->mean_downtime_s);
+    w.end_object();
+  } else {
+    w.null();
+  }
+  w.key("replication");
+  if (c.replication) {
+    w.begin_object();
+    w.member("popularity_threshold",
+             static_cast<std::uint64_t>(c.replication->popularity_threshold));
+    w.end_object();
+  } else {
+    w.null();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void dump_scenario(const ScenarioSpec& spec, std::ostream& out) {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.member("name", spec.name);
+  w.member("title", spec.title);
+  w.member("kind", spec.is_stats() ? "workload-stats" : "sweep");
+  w.member("x_axis", spec.x_axis);
+  w.member("metric", to_string(spec.metric));
+  w.member("metric_name", spec.metric_name);
+
+  w.key("workload");
+  w.begin_object();
+  w.member("num_tasks", static_cast<std::uint64_t>(spec.workload.num_tasks));
+  w.member("file_size_mb", to_megabytes(spec.workload.file_size));
+  w.end_object();
+
+  w.key("schedulers");
+  write_schedulers(w, spec.schedulers);
+
+  w.key("points");
+  w.begin_array();
+  for (const Point& pt : spec.points) {
+    w.begin_object();
+    w.member("x", pt.x);
+    w.member("label", pt.label);
+    w.key("config");
+    write_config(w, pt.config);
+    if (pt.file_size) {
+      w.member("file_size_mb", to_megabytes(*pt.file_size));
+    }
+    if (!pt.schedulers.empty()) {
+      w.key("schedulers");
+      write_schedulers(w, pt.schedulers);
+    }
+    if (!pt.row_labels.empty()) {
+      w.key("row_labels");
+      w.begin_array();
+      for (const std::string& label : pt.row_labels) w.value(label);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  if (!spec.notes.empty()) w.member("notes", spec.notes);
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace wcs::scenario

@@ -1,0 +1,17 @@
+// JSON dump of a built ScenarioSpec (`--dump-scenario`).
+//
+// Emitted with the deterministic obs::JsonWriter and designed to be read
+// back with obs::parse_json (test_scenario pins that round trip). The
+// dump reflects exactly what run_scenario() would execute: the resolved
+// workload, scheduler names, and every sweep point's platform deltas.
+#pragma once
+
+#include <ostream>
+
+#include "scenario/scenario.h"
+
+namespace wcs::scenario {
+
+void dump_scenario(const ScenarioSpec& spec, std::ostream& out);
+
+}  // namespace wcs::scenario

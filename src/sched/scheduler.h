@@ -26,6 +26,7 @@
 #include "audit/invariant_auditor.h"
 #include "common/ids.h"
 #include "common/units.h"
+#include "grid/config.h"
 #include "obs/profiler.h"
 #include "storage/file_cache.h"
 #include "workload/job.h"
@@ -67,15 +68,15 @@ class GridEngine {
   // Exposed ONLY for dynamic-information baselines (XSufferage/MCT). The
   // paper's own schedulers never touch these: its Sec. 2.4 point is that
   // such estimates are hard to obtain in a real grid and that
-  // data-placement information alone schedules better. Defaults are
-  // deliberately crude placeholders.
+  // data-placement information alone schedules better. Defaults are the
+  // documented fallback constants in grid/config.h.
   [[nodiscard]] virtual double estimated_uplink_bandwidth(SiteId site) const {
     (void)site;
-    return 1e6;  // bytes/s
+    return grid::kFallbackUplinkBandwidthBps;
   }
   [[nodiscard]] virtual double estimated_site_mflops(SiteId site) const {
     (void)site;
-    return 1e3;
+    return grid::kFallbackSiteMflops;
   }
   [[nodiscard]] virtual std::size_t data_server_backlog(SiteId site) const {
     (void)site;

@@ -1,0 +1,156 @@
+// Scenario-registry tests: every catalog entry builds, smoke-runs one
+// seed in --fast shape, dumps as JSON the obs parser accepts, and emits
+// a schema-valid run report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "scenario/catalog.h"
+#include "scenario/cli.h"
+#include "scenario/runner.h"
+#include "scenario/spec_json.h"
+
+namespace wcs::scenario {
+namespace {
+
+const std::vector<std::string> kExpected = {
+    "table2_workload",     "fig3_cdf",          "fig4_capacity",
+    "fig5_transfers",      "fig6_workers",      "table3_contention",
+    "fig7_sites",          "fig8_filesize",     "ablation_combined",
+    "ablation_choosetask", "ablation_eviction", "ablation_baselines",
+    "ext_replication",     "ext_churn"};
+
+BuildOptions small_build() {
+  BuildOptions b;
+  b.tasks = 120;
+  b.fast = true;
+  return b;
+}
+
+TEST(ScenarioRegistry, CatalogRegistersEveryPaperArtifact) {
+  register_builtin_scenarios();
+  register_builtin_scenarios();  // idempotent
+  EXPECT_EQ(scenario_names(), kExpected);
+  for (const std::string& name : kExpected) {
+    EXPECT_TRUE(has_scenario(name));
+    EXPECT_FALSE(scenario_summary(name).empty());
+  }
+  EXPECT_FALSE(has_scenario("fig99_bogus"));
+}
+
+TEST(ScenarioRegistry, EveryScenarioBuilds) {
+  register_builtin_scenarios();
+  for (const std::string& name : scenario_names()) {
+    ScenarioSpec spec = build_scenario(name, small_build());
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.title.empty()) << name;
+    EXPECT_FALSE(spec.metric_name.empty()) << name;
+    EXPECT_EQ(spec.workload.num_tasks, 120u) << name;
+    if (spec.is_stats()) {
+      EXPECT_TRUE(spec.points.empty()) << name;
+    } else {
+      EXPECT_FALSE(spec.points.empty()) << name;
+      for (const Point& pt : spec.points)
+        EXPECT_FALSE(pt.label.empty()) << name;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, UnknownScenarioIsRejected) {
+  register_builtin_scenarios();
+  EXPECT_THROW((void)build_scenario("fig99_bogus", small_build()),
+               std::logic_error);
+  EXPECT_THROW((void)scenario_summary("fig99_bogus"), std::logic_error);
+}
+
+TEST(ScenarioRegistry, FastCoarsensSweepAxes) {
+  register_builtin_scenarios();
+  BuildOptions full = small_build();
+  full.fast = false;
+  EXPECT_LT(build_scenario("fig6_workers", small_build()).points.size(),
+            build_scenario("fig6_workers", full).points.size());
+  EXPECT_LT(build_scenario("fig7_sites", small_build()).points.size(),
+            build_scenario("fig7_sites", full).points.size());
+}
+
+TEST(ScenarioDump, EveryDumpParsesWithObsParser) {
+  register_builtin_scenarios();
+  for (const std::string& name : scenario_names()) {
+    ScenarioSpec spec = build_scenario(name, small_build());
+    std::ostringstream text;
+    dump_scenario(spec, text);
+    obs::JsonValue doc = obs::parse_json(text.str());
+    ASSERT_TRUE(doc.is_object()) << name;
+    ASSERT_TRUE(doc.has("name")) << name;
+    EXPECT_EQ(doc.find("name")->string, name);
+    ASSERT_TRUE(doc.has("kind")) << name;
+    const std::string kind = doc.find("kind")->string;
+    if (spec.is_stats()) {
+      EXPECT_EQ(kind, "workload-stats") << name;
+    } else {
+      EXPECT_EQ(kind, "sweep") << name;
+      ASSERT_TRUE(doc.find("points")->is_array()) << name;
+      EXPECT_EQ(doc.find("points")->array.size(), spec.points.size()) << name;
+    }
+    EXPECT_TRUE(doc.find("workload")->has("num_tasks")) << name;
+  }
+}
+
+TEST(ScenarioSmoke, EveryScenarioRunsOneSeedFast) {
+  register_builtin_scenarios();
+  for (const std::string& name : scenario_names()) {
+    ScenarioSpec spec = build_scenario(name, small_build());
+    RunOptions ro;
+    ro.seeds = 1;
+    ro.jobs = 2;
+    ro.tasks = 120;
+    ro.fast = true;
+    std::ostringstream out, err;
+    ro.out = &out;
+    ro.err = &err;
+    EXPECT_EQ(run_scenario(spec, ro), 0) << name;
+    EXPECT_FALSE(out.str().empty()) << name;
+  }
+}
+
+TEST(ScenarioReport, ReportIsSchemaValid) {
+  register_builtin_scenarios();
+  ScenarioSpec spec = build_scenario("table3_contention", small_build());
+  RunOptions ro;
+  ro.seeds = 1;
+  ro.jobs = 2;
+  ro.tasks = 120;
+  ro.fast = true;
+  ro.report_name = "test_scenario_report";
+  const std::string path =
+      testing::TempDir() + "/test_scenario_report.json";
+  ro.report_path = path;
+  std::ostringstream out, err;
+  ro.out = &out;
+  ro.err = &err;
+  ASSERT_EQ(run_scenario(spec, ro), 0);
+  EXPECT_TRUE(obs::validate_report_file(path).empty());
+}
+
+TEST(ScenarioCli, UnknownScenarioFailsWithUsageError) {
+  std::string arg0 = "bench_test";
+  std::string a1 = "--scenario";
+  std::string a2 = "fig99_bogus";
+  std::string a3 = "--no-report";
+  char* argv[] = {arg0.data(), a1.data(), a2.data(), a3.data()};
+  EXPECT_EQ(scenario_main("fig5_transfers", 4, argv), 2);
+}
+
+TEST(ScenarioCli, ListScenariosSucceeds) {
+  std::string arg0 = "bench_test";
+  std::string a1 = "--list-scenarios";
+  char* argv[] = {arg0.data(), a1.data()};
+  EXPECT_EQ(scenario_main("fig5_transfers", 2, argv), 0);
+}
+
+}  // namespace
+}  // namespace wcs::scenario
