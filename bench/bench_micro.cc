@@ -132,6 +132,57 @@ void BM_ChooseTaskCombined(benchmark::State& state) {
 }
 BENCHMARK(BM_ChooseTaskCombined)->Arg(1000)->Arg(6000);
 
+void BM_ChooseTask(benchmark::State& state, bool use_sharded_index) {
+  // Full ChooseTask(n) request cost at a large pending bag: the flat
+  // reference scan is O(|pending|) per request, the sharded index
+  // (sched/sharded_index.h) walks the top buckets in O(log B + n). Both
+  // run the combined metric with n = 2 — the most expensive
+  // configuration (every bucket is visited, with a per-bucket early
+  // break) and the one the acceptance speedup is measured on. The
+  // workqueue spec only provides the engine substrate; the measured
+  // scheduler is standalone, and peek_choice resolves a decision without
+  // consuming a task, so the bag stays at full size for every iteration.
+  workload::CoaddParams cp;
+  cp.num_tasks = static_cast<std::size_t>(state.range(0));
+  auto job = workload::generate_coadd(cp);
+  grid::GridConfig config;
+  config.tiers.num_sites = 4;
+  config.capacity_files = 6000;
+  sched::SchedulerSpec spec;
+  spec.algorithm = sched::Algorithm::kWorkqueue;  // engine substrate only
+  grid::GridSimulation engine(config, job, sched::make_scheduler(spec));
+  sched::WorkerCentricParams params;
+  params.metric = sched::Metric::kCombined;
+  params.choose_n = 2;
+  params.options.use_sharded_index = use_sharded_index;
+  sched::WorkerCentricScheduler scheduler(params);
+  scheduler.attach(engine);
+  scheduler.on_job_submitted();
+  unsigned site = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.peek_choice(SiteId(site)));
+    site = (site + 1) % 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ChooseTask_flat(benchmark::State& state) {
+  BM_ChooseTask(state, /*use_sharded_index=*/false);
+}
+void BM_ChooseTask_sharded(benchmark::State& state) {
+  BM_ChooseTask(state, /*use_sharded_index=*/true);
+}
+BENCHMARK(BM_ChooseTask_flat)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+BENCHMARK(BM_ChooseTask_sharded)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
 void BM_RunMatrix(benchmark::State& state) {
   // Wall-clock of a 6-algorithm x 4-seed figure matrix, serial
   // (jobs = 1) vs fanned out over the thread pool (jobs = 4). The

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Documentation wall (the CI docs job):
+#   1. every relative markdown link in the top-level pages and docs/
+#      resolves to a real file;
+#   2. docs/scenario-catalog.md matches what gen_scenario_docs renders
+#      from the live scenario registry (the page is generated — a drift
+#      means someone changed src/scenario without regenerating it).
+#
+#   scripts/check_docs.sh [BUILD_DIR]     # default: build
+#
+# Needs a configured build tree for the staleness half; pass the tree as
+# $1 if it is not ./build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+# --- 1. relative link check -------------------------------------------------
+PAGES=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+broken=0
+for page in "${PAGES[@]}"; do
+  [ -f "$page" ] || continue
+  dir=$(dirname "$page")
+  # Inline links only: [text](target). External URLs and pure #anchors
+  # are skipped; a local target's #fragment is stripped before the check.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in $page: ($target)" >&2
+      broken=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$page" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$broken" -ne 0 ]; then
+  echo "FAIL — broken relative markdown links (see above)" >&2
+  exit 1
+fi
+echo "ok — all relative markdown links resolve"
+
+# --- 2. scenario catalog staleness ------------------------------------------
+GEN="$BUILD_DIR/tools/gen_scenario_docs"
+if [ ! -x "$GEN" ]; then
+  echo "building gen_scenario_docs in $BUILD_DIR ..."
+  cmake --build "$BUILD_DIR" --target gen_scenario_docs -j
+fi
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+"$GEN" "$tmp"
+if ! diff -u docs/scenario-catalog.md "$tmp"; then
+  echo "FAIL — docs/scenario-catalog.md is stale; regenerate with:" >&2
+  echo "  ./$BUILD_DIR/tools/gen_scenario_docs docs/scenario-catalog.md" >&2
+  exit 1
+fi
+echo "ok — docs/scenario-catalog.md matches the live scenario registry"

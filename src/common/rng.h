@@ -81,26 +81,48 @@ class Rng {
     std::shuffle(v.begin(), v.end(), engine_);
   }
 
-  // Zipf-distributed rank in [1, n] with exponent s (rejection-free
-  // inverse-CDF over precomputation is overkill here; n is small where we
-  // use this).
-  [[nodiscard]] std::size_t zipf(std::size_t n, double s) {
-    WCS_CHECK(n > 0);
-    double h = 0;
-    for (std::size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
-    double r = uniform_real(0, h);
-    double acc = 0;
-    for (std::size_t k = 1; k <= n; ++k) {
-      acc += 1.0 / std::pow(double(k), s);
-      if (r < acc) return k;
-    }
-    return n;
-  }
+  // Zipf-distributed rank in [1, n] with exponent s. Convenience wrapper
+  // that rebuilds the CDF table on every call — loops drawing many ranks
+  // from one pool must hoist a ZipfCdf instead (the per-call table build
+  // is O(n), which made workload generation quadratic in task count).
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s);
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
 };
+
+// Precomputed Zipf CDF over ranks [1, n] with exponent s. The prefix
+// sums accumulate in the same order as the naive linear-scan sampler
+// this replaces, and each sample consumes exactly one uniform draw, so
+// the rank sequence is bit-identical to it — only the per-draw cost
+// changes, O(n) -> O(log n).
+class ZipfCdf {
+ public:
+  ZipfCdf(std::size_t n, double s) {
+    WCS_CHECK(n > 0);
+    cdf_.reserve(n);
+    double acc = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(acc);
+    }
+  }
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const double r = rng.uniform_real(0, cdf_.back());
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
+    if (it == cdf_.end()) return cdf_.size();  // guard against FP rounding
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+inline std::size_t Rng::zipf(std::size_t n, double s) {
+  return ZipfCdf(n, s).sample(*this);
+}
 
 }  // namespace wcs

@@ -21,6 +21,7 @@ struct CliOptions {
   RunOptions run;
   bool list = false;
   bool dump = false;
+  bool flat_index = false;  // --flat-index: reference decision path
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -74,11 +75,13 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
       no_report = true;
     } else if (arg == "--trace-out") {
       opt.run.trace_out = next();
+    } else if (arg == "--flat-index") {
+      opt.flat_index = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenario NAME --list-scenarios "
                    "--dump-scenario [NAME]\n         --tasks N --seeds K "
                    "--jobs N --csv PATH --fast --audit\n         --report "
-                   "PATH --no-report --trace-out PATH\n";
+                   "PATH --no-report --trace-out PATH --flat-index\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + arg);
@@ -130,6 +133,18 @@ int scenario_main(const std::string& default_scenario, int argc,
   build.tasks = opt.tasks;
   build.fast = opt.fast;
   ScenarioSpec spec = build_scenario(opt.scenario, build);
+
+  // --flat-index: run every scheduler on the flat reference decision
+  // path instead of the sharded pending-task index. Totals are
+  // byte-identical either way; the escape hatch exists for A/B timing
+  // and for debugging the index itself.
+  if (opt.flat_index) {
+    for (sched::SchedulerSpec& s : spec.schedulers)
+      s.options.use_sharded_index = false;
+    for (Point& pt : spec.points)
+      for (sched::SchedulerSpec& s : pt.schedulers)
+        s.options.use_sharded_index = false;
+  }
 
   if (opt.dump) {
     dump_scenario(spec, std::cout);

@@ -18,6 +18,10 @@
 //                     results/<bench>.json; --no-report disables)
 //   --trace-out P     additionally run one representative simulation with
 //                     full observability and dump its Chrome trace to P
+//   --flat-index      resolve scheduling decisions with the flat O(T)
+//                     reference scans instead of the sharded pending-task
+//                     index (sched/sharded_index.h); totals are
+//                     byte-identical, only the wall-clock differs
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1

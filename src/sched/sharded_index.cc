@@ -1,0 +1,91 @@
+#include "sched/sharded_index.h"
+
+#include <sstream>
+
+namespace wcs::sched {
+
+void ShardedTaskIndex::reset(std::size_t num_tasks) {
+  buckets_.clear();
+  slots_.assign(num_tasks, Slot{});
+  size_ = 0;
+}
+
+void ShardedTaskIndex::insert(TaskId task, std::uint64_t key,
+                              std::uint64_t rank) {
+  WCS_CHECK_MSG(task.value() < slots_.size(),
+                "sharded index: task " << task << " out of range");
+  Slot& slot = slots_[task.value()];
+  WCS_CHECK_MSG(!slot.present, "sharded index: duplicate insert " << task);
+  auto [it, inserted] = buckets_.try_emplace(key, Bucket(order_));
+  const bool entry_new = it->second.insert(Entry{rank, task}).second;
+  WCS_CHECK(entry_new);
+  (void)inserted;
+  slot = Slot{true, key, rank};
+  ++size_;
+}
+
+void ShardedTaskIndex::erase(TaskId task) {
+  WCS_CHECK_MSG(contains(task), "sharded index: erase of absent " << task);
+  Slot& slot = slots_[task.value()];
+  auto it = buckets_.find(slot.key);
+  WCS_CHECK(it != buckets_.end());
+  const std::size_t removed = it->second.erase(Entry{slot.rank, task});
+  WCS_CHECK_MSG(removed == 1, "sharded index: entry lost for " << task);
+  if (it->second.empty()) buckets_.erase(it);
+  slot = Slot{};
+  --size_;
+}
+
+void ShardedTaskIndex::update(TaskId task, std::uint64_t key,
+                              std::uint64_t rank) {
+  WCS_CHECK_MSG(contains(task), "sharded index: update of absent " << task);
+  Slot& slot = slots_[task.value()];
+  if (slot.key == key && slot.rank == rank) return;
+  erase(task);
+  insert(task, key, rank);
+}
+
+std::uint64_t ShardedTaskIndex::key_of(TaskId task) const {
+  WCS_CHECK_MSG(contains(task), "sharded index: key_of absent " << task);
+  return slots_[task.value()].key;
+}
+
+std::uint64_t ShardedTaskIndex::rank_of(TaskId task) const {
+  WCS_CHECK_MSG(contains(task), "sharded index: rank_of absent " << task);
+  return slots_[task.value()].rank;
+}
+
+std::vector<std::string> ShardedTaskIndex::structural_defects() const {
+  std::vector<std::string> defects;
+  std::size_t entries = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.empty()) {
+      std::ostringstream os;
+      os << "empty bucket " << key << " kept in the map";
+      defects.push_back(os.str());
+    }
+    for (const Entry& e : bucket) {
+      ++entries;
+      const TaskId t = e.task;
+      if (t.value() >= slots_.size() || !slots_[t.value()].present ||
+          slots_[t.value()].key != key || slots_[t.value()].rank != e.rank) {
+        std::ostringstream os;
+        os << "entry (task " << t << ", key " << key << ", rank " << e.rank
+           << ") has no matching slot";
+        defects.push_back(os.str());
+      }
+    }
+  }
+  std::size_t present = 0;
+  for (const Slot& s : slots_)
+    if (s.present) ++present;
+  if (entries != size_ || present != size_) {
+    std::ostringstream os;
+    os << "size drifted: counter " << size_ << ", bucket entries " << entries
+       << ", present slots " << present;
+    defects.push_back(os.str());
+  }
+  return defects;
+}
+
+}  // namespace wcs::sched

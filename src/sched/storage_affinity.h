@@ -26,13 +26,29 @@
 // with the largest byte-overlap against the worker's site cache (actual,
 // current contents), up to max_replicas instances per task. The first
 // instance to finish wins; the scheduler cancels the siblings.
+//
+// Complexity: the replica pick is the hot path (it runs on every idle
+// transition for the rest of the run). The reference implementation
+// rescans every task and intersects its file set with the cache,
+// O(T * I) per request. With SchedulerOptions::use_sharded_index (the
+// default) the scheduler instead maintains, from cache-change
+// notifications, an incremental per-(site, task) cached-byte counter and
+// a per-site sharded index (sharded_index.h) over the replicable set —
+// bucket key = byte overlap, ties broken toward the highest task id,
+// matching the flat scan exactly — so a request walks buckets best-first
+// in O(log B) and picks the identical task. Orphan pickup keeps an
+// ordered id set mirroring the flat lowest-id-first scan. --audit
+// cross-validates counters, bucket keys, and the orphan set against a
+// brute-force rescan on every sweep.
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "sched/scheduler.h"
+#include "sched/sharded_index.h"
 
 namespace wcs::sched {
 
@@ -47,6 +63,9 @@ struct StorageAffinityParams {
   // algorithms at large capacities, Fig. 4). Reconstruction choice
   // recorded in DESIGN.md §6.
   double imbalance_factor = 1.25;
+
+  // Cross-cutting toggles (sharded index on/off); see scheduler.h.
+  SchedulerOptions options;
 };
 
 class StorageAffinityScheduler final : public Scheduler {
@@ -65,6 +84,12 @@ class StorageAffinityScheduler final : public Scheduler {
     return "storage-affinity";
   }
 
+  // Invariant audit (sharded mode only; the flat path keeps no redundant
+  // state): cross-validates the incremental cached-byte counters and the
+  // per-site replica index against a brute-force recompute from the live
+  // caches, and the orphan set against the placement table.
+  void audit_collect(std::vector<audit::Violation>& out) const override;
+
   // --- Introspection (tests) -------------------------------------------
   [[nodiscard]] const std::vector<WorkerId>& placements(TaskId task) const {
     return placements_.at(task.value());
@@ -79,11 +104,38 @@ class StorageAffinityScheduler final : public Scheduler {
   // Byte overlap between a task's input set and a site's current cache.
   [[nodiscard]] double cache_affinity(TaskId task, SiteId site) const;
 
+  // --- Sharded replica index (see file comment) -------------------------
+  [[nodiscard]] bool sharded() const {
+    return params_.options.use_sharded_index;
+  }
+  // Builds the inverted file->task index, seeds the per-(site, task)
+  // cached-byte counters from current cache contents, and subscribes to
+  // cache-change notifications.
+  void build_affinity_index();
+  // Re-keys cached_bytes_ and the replica index for one cache mutation.
+  void on_cache_event(SiteId site, storage::CacheEvent event, FileId file);
+  // Re-derives `task`'s membership in every site's replica index from
+  // its placement/completion state (replicable = incomplete, has at
+  // least one instance, below max_replicas).
+  void sync_replicable(TaskId task);
+  // The sharded twin of the flat on_worker_idle scan: identical choice.
+  void on_worker_idle_sharded(WorkerId worker);
+
   StorageAffinityParams params_;
   std::vector<std::vector<WorkerId>> placements_;  // active instances
   std::vector<char> completed_;
   std::vector<std::uint32_t> worker_load_;  // queued+running per worker
   std::uint64_t replications_ = 0;
+
+  // Sharded-mode state; untouched (empty) under --flat-index. The
+  // inverted index holds INCOMPLETE tasks only (trimmed on completion)
+  // so cache events stop touching finished tasks.
+  std::vector<std::vector<TaskId>> tasks_of_file_;
+  std::vector<std::vector<Bytes>> cached_bytes_;  // [site][task]
+  std::vector<ShardedTaskIndex> replica_index_;   // per site, high-id ties
+  // Incomplete tasks with no live instance, ordered ascending so pickup
+  // matches the flat scan's lowest-id-first order.
+  std::set<TaskId> orphans_;
 };
 
 }  // namespace wcs::sched

@@ -21,14 +21,26 @@
 // (rest.2/combined.2).
 //
 // Complexity: the paper's algorithm is O(T * I) per request (scan all
-// tasks, intersect file sets). We keep an incremental per-(site, task)
-// overlap/ref-sum index, updated from cache-change notifications, so a
-// request is an O(T) scan; the combined metric's totalRef/totalRest are
-// likewise maintained incrementally (exact integer sum + missing-count
-// histogram) so they cost O(1)-ish per decision instead of a second
-// O(T) scan. The semantics are identical (tests cross-check against the
-// naive computation, and debug builds cross-validate the incremental
-// totals against the scan).
+// tasks, intersect file sets). Three incremental layers remove that:
+//
+//   1. per-(site, task) overlap/ref-sum counters, updated from
+//      cache-change notifications, make one weight evaluation O(1);
+//   2. the combined metric's totalRef/totalRest aggregates (exact
+//      integer sum + missing-count histogram) make the normalizers O(1)
+//      per decision instead of a second O(T) scan;
+//   3. a sharded pending-task index (sharded_index.h) — per-site buckets
+//      keyed by the weight class, i.e. |F_t| for overlap and
+//      |t| - |F_t| for rest/combined, ranked by ref_t inside a combined
+//      bucket — resolves ChooseTask(n) by a best-first bucket walk in
+//      O(log B + n) instead of scanning the pending bag.
+//
+// The semantics are byte-identical at every layer: tests cross-check
+// weights against the naive computation, the property suite replays
+// random interleavings through the flat and sharded paths, the golden
+// runs pin exact totals for both, and --audit cross-validates every
+// counter, aggregate, and bucket against a brute-force rescan. The flat
+// scan is kept as the reference implementation behind
+// SchedulerOptions::use_sharded_index (CLI: --flat-index).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +50,7 @@
 
 #include "common/rng.h"
 #include "sched/scheduler.h"
+#include "sched/sharded_index.h"
 
 namespace wcs::sched {
 
@@ -68,6 +81,9 @@ struct WorkerCentricParams {
   // missing files at its site; first finisher wins.
   bool replicate_when_idle = false;
   int max_replicas = 2;  // total concurrent instances per task
+
+  // Cross-cutting toggles (sharded index on/off); see scheduler.h.
+  SchedulerOptions options;
 };
 
 class WorkerCentricScheduler final : public Scheduler {
@@ -116,6 +132,13 @@ class WorkerCentricScheduler final : public Scheduler {
   // combined metric used to pay on every choose_task().
   [[nodiscard]] std::pair<double, double> totals_of(SiteId site) const;
 
+  // Resolves ChooseTask(n) for a worker at `site` WITHOUT assigning or
+  // removing the task — the bench/property-test hook for comparing the
+  // flat and sharded decision paths. Consumes exactly the RNG draw the
+  // real assignment would (none when the top-n has a single candidate).
+  // The pending bag must be non-empty.
+  [[nodiscard]] TaskId peek_choice(SiteId site) { return choose_task(site); }
+
  private:
   struct SiteIndex {
     std::vector<std::uint32_t> overlap;   // |F_t| per task
@@ -149,7 +172,32 @@ class WorkerCentricScheduler final : public Scheduler {
                                          TaskId task) const {
     return task_size_[task.value()] - idx.overlap[task.value()];
   }
+  // ChooseTask(n): dispatches to the sharded bucket walk or the flat
+  // reference scan (params_.options.use_sharded_index); both produce the
+  // same ordered top-n, the same RNG consumption, the same task.
   [[nodiscard]] TaskId choose_task(SiteId site);
+  [[nodiscard]] TaskId choose_task_flat(SiteId site);
+  [[nodiscard]] TaskId choose_task_sharded(SiteId site);
+
+  // --- Sharded pending-task index (layer 3; see file comment) ----------
+  [[nodiscard]] bool sharded() const {
+    return params_.options.use_sharded_index;
+  }
+  // Bucket key of a pending task at one site: |F_t| for overlap (bigger
+  // is better), |t| - |F_t| for rest/combined (smaller is better).
+  [[nodiscard]] std::uint64_t shard_key(const SiteIndex& idx,
+                                        TaskId task) const {
+    return params_.metric == Metric::kOverlap ? idx.overlap[task.value()]
+                                              : missing_of(idx, task);
+  }
+  // Within-bucket rank: ref_t for combined (weight is strictly
+  // increasing in ref_t at fixed missing-count), 0 otherwise (all
+  // weights inside a bucket are equal for overlap/rest).
+  [[nodiscard]] std::uint64_t shard_rank(const SiteIndex& idx,
+                                         TaskId task) const {
+    return params_.metric == Metric::kCombined ? idx.ref_sum[task.value()]
+                                               : 0;
+  }
 
   // Replication phase (only when params_.replicate_when_idle). Returns
   // true if a replica was assigned to the worker.
@@ -164,6 +212,9 @@ class WorkerCentricScheduler final : public Scheduler {
   WorkerCentricParams params_;
   Rng rng_;
   std::vector<SiteIndex> sites_;
+  // One shard per site, holding exactly the pending bag keyed/ranked by
+  // shard_key/shard_rank; empty (and never touched) in flat mode.
+  std::vector<ShardedTaskIndex> shards_;
   std::vector<std::vector<TaskId>> tasks_of_file_;  // inverted index
   std::vector<std::uint32_t> task_size_;            // |t| per task
   std::vector<char> pending_;         // by task id

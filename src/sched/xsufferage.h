@@ -26,6 +26,9 @@
 //
 // missing_bytes is tracked incrementally from cache events (same device
 // as the worker-centric scheduler's index), so a request costs O(T * S).
+// Estimate-quality sensitivity is measured in EXPERIMENTS.md ablation
+// A4 (GridConfig::estimate_error skews the bandwidth/CPU numbers this
+// scheduler sees; the data-aware schedulers never read them).
 #pragma once
 
 #include <cstdint>
@@ -40,13 +43,21 @@ class XSufferageScheduler final : public Scheduler {
  public:
   XSufferageScheduler() = default;
 
+  // Rebuilds the pending set and the per-(site, task) cached-bytes
+  // matrix from the engine's current cache contents, then subscribes to
+  // cache events to keep the matrix incremental.
   void on_job_submitted() override;
+  // Max-sufferage pick among tasks whose best-MCT site is the
+  // requester's; falls back to the smallest local MCT so a free worker
+  // is never idled while tasks remain.
   void on_worker_idle(WorkerId worker) override;
   void on_task_completed(TaskId task, WorkerId worker) override;
+  // Lost tasks rejoin the pending set and any starving workers are fed.
   void on_worker_failed(WorkerId worker,
                         const std::vector<TaskId>& lost) override;
   [[nodiscard]] std::string name() const override { return "xsufferage"; }
 
+  // Unassigned tasks (audit/test hook; running tasks are not counted).
   [[nodiscard]] std::size_t pending_count() const {
     return pending_list_.size();
   }

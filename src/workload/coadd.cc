@@ -153,10 +153,11 @@ Job generate_coadd(const CoaddParams& p) {
   // Popular calibration files live after all row files.
   const std::size_t pool_base = next_file;
   if (p.popular_picks_per_task > 0 && pool_size > 0) {
+    const ZipfCdf pool_zipf(pool_size, p.popular_zipf_exponent);
     for (Task& t : job.tasks) {
       std::unordered_set<std::size_t> picked;
       while (picked.size() < std::min(p.popular_picks_per_task, pool_size)) {
-        std::size_t rank = rng.zipf(pool_size, p.popular_zipf_exponent);
+        std::size_t rank = pool_zipf.sample(rng);
         if (picked.insert(rank - 1).second)
           t.files.push_back(FileId(
               static_cast<FileId::underlying_type>(pool_base + rank - 1)));

@@ -47,11 +47,12 @@ Job generate_uniform(const GeneratorParams& p) {
 Job generate_zipf(const GeneratorParams& p, double exponent) {
   WCS_CHECK(p.files_per_task <= p.num_files);
   Rng rng(p.seed);
+  const ZipfCdf file_zipf(p.num_files, exponent);
   std::vector<std::vector<FileId>> sets(p.num_tasks);
   for (auto& set : sets) {
     std::unordered_set<std::size_t> picked;
     while (picked.size() < p.files_per_task) {
-      std::size_t f = rng.zipf(p.num_files, exponent) - 1;
+      std::size_t f = file_zipf.sample(rng) - 1;
       if (picked.insert(f).second)
         set.push_back(FileId(static_cast<FileId::underlying_type>(f)));
     }

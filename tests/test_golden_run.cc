@@ -66,6 +66,23 @@ TEST(GoldenRun, FixedSeedTotalsAreExact) {
   }
 }
 
+TEST(GoldenRun, FlatIndexReproducesGoldensExactly) {
+  // The sharded pending-task index (the default) and the flat reference
+  // scan must make IDENTICAL choices: same goldens, byte for byte, for
+  // all six schedulers. This is the acceptance gate for
+  // SchedulerOptions::use_sharded_index (CLI: --flat-index).
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  ASSERT_EQ(specs.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].options.use_sharded_index = false;
+    const auto r = run_golden_scenario(specs[i]);
+    SCOPED_TRACE(specs[i].name() + " (flat index)");
+    EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
+    EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
+    EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);
+  }
+}
+
 TEST(GoldenRun, ObservabilityDoesNotPerturbGoldens) {
   // The read-only instrumentation contract, enforced against the golden
   // scenario: a fully-instrumented run must land on the same totals.

@@ -1,0 +1,463 @@
+// Sharded pending-task index (sched/sharded_index.h): structural unit
+// tests, the audit checker, and — the load-bearing part — property tests
+// that replay random interleavings of cache adds/evictions, assignments,
+// completions, and worker failures through a FLAT and a SHARDED scheduler
+// side by side, asserting identical decisions at every step. Two mirrored
+// FakeEngines are required because each cache has a single listener slot
+// and each scheduler owns its engine's slots.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "audit/checkers.h"
+#include "fake_engine.h"
+#include "grid/experiment.h"
+#include "sched/sharded_index.h"
+#include "sched/storage_affinity.h"
+#include "sched/worker_centric.h"
+#include "workload/coadd.h"
+
+namespace wcs::sched {
+namespace {
+
+using testing::FakeEngine;
+using testing::make_job;
+
+TaskId tid(unsigned v) { return TaskId(v); }
+
+// --- ShardedTaskIndex structural tests ---------------------------------
+
+TEST(ShardedTaskIndex, InsertEraseUpdateMaintainBuckets) {
+  ShardedTaskIndex idx;
+  idx.reset(8);
+  EXPECT_TRUE(idx.empty());
+
+  idx.insert(tid(0), /*key=*/3);
+  idx.insert(tid(1), /*key=*/3);
+  idx.insert(tid(2), /*key=*/7);
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.bucket_count(), 2u);
+  EXPECT_TRUE(idx.contains(tid(1)));
+  EXPECT_FALSE(idx.contains(tid(5)));
+  EXPECT_EQ(idx.key_of(tid(2)), 7u);
+
+  // Re-keying moves between buckets; the vacated bucket disappears.
+  idx.update(tid(2), /*key=*/3);
+  EXPECT_EQ(idx.bucket_count(), 1u);
+  EXPECT_EQ(idx.key_of(tid(2)), 3u);
+  // A no-op update leaves everything in place.
+  idx.update(tid(2), /*key=*/3);
+  EXPECT_EQ(idx.size(), 3u);
+
+  idx.erase(tid(0));
+  idx.erase(tid(1));
+  idx.erase(tid(2));
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.bucket_count(), 0u);
+  EXPECT_TRUE(idx.structural_defects().empty());
+}
+
+TEST(ShardedTaskIndex, BucketOrderIsRankDescThenLowId) {
+  ShardedTaskIndex idx;
+  idx.reset(4);
+  idx.insert(tid(2), /*key=*/1, /*rank=*/5);
+  idx.insert(tid(0), /*key=*/1, /*rank=*/9);
+  idx.insert(tid(3), /*key=*/1, /*rank=*/5);
+  idx.insert(tid(1), /*key=*/1, /*rank=*/9);
+
+  std::vector<TaskId> order;
+  for (const auto& e : idx.buckets().at(1)) order.push_back(e.task);
+  // rank 9 before rank 5; within a rank, ascending id (the flat
+  // ChooseTask tie-break).
+  EXPECT_EQ(order, (std::vector<TaskId>{tid(0), tid(1), tid(2), tid(3)}));
+}
+
+TEST(ShardedTaskIndex, PreferHighIdReversesTieOrder) {
+  ShardedTaskIndex idx(/*prefer_high_id=*/true);
+  idx.reset(4);
+  for (unsigned t : {1u, 3u, 0u, 2u}) idx.insert(tid(t), /*key=*/4);
+
+  std::vector<TaskId> order;
+  for (const auto& e : idx.buckets().at(4)) order.push_back(e.task);
+  // Equal ranks, descending id: the storage-affinity replica tie-break.
+  EXPECT_EQ(order, (std::vector<TaskId>{tid(3), tid(2), tid(1), tid(0)}));
+}
+
+TEST(ShardedTaskIndex, ResetDropsEverything) {
+  ShardedTaskIndex idx;
+  idx.reset(2);
+  idx.insert(tid(0), 1);
+  idx.insert(tid(1), 2);
+  idx.reset(5);
+  EXPECT_TRUE(idx.empty());
+  EXPECT_FALSE(idx.contains(tid(0)));
+  idx.insert(tid(4), 9, 3);
+  EXPECT_EQ(idx.rank_of(tid(4)), 3u);
+  EXPECT_TRUE(idx.structural_defects().empty());
+}
+
+TEST(ShardedIndexAudit, CheckerFlagsCountMismatchAndDefects) {
+  audit::ShardedIndexSnapshot snap;
+  snap.label = "test shard";
+  snap.indexed = 2;
+  snap.expected = 3;
+  snap.defects.push_back("task #7 filed under the wrong key");
+
+  std::vector<audit::Violation> out;
+  audit::check_sharded_index(snap, out);
+  ASSERT_EQ(out.size(), 2u);
+  for (const audit::Violation& v : out) EXPECT_EQ(v.checker, "sharded-index");
+
+  // A coherent snapshot reports nothing.
+  out.clear();
+  snap.indexed = 3;
+  snap.defects.clear();
+  audit::check_sharded_index(snap, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- Worker-centric property test --------------------------------------
+//
+// Random interleavings of {cache add (with LRU eviction pressure),
+// peek, assign, complete, worker failure} through a flat and a sharded
+// scheduler over mirrored engines: every choice, every recorded
+// assignment, and every audit sweep must agree.
+
+workload::Job random_job(std::mt19937_64& rng, std::size_t num_tasks,
+                         std::size_t num_files) {
+  std::vector<std::vector<unsigned>> sets(num_tasks);
+  for (auto& files : sets) {
+    const std::size_t k = 1 + rng() % 4;
+    std::set<unsigned> chosen;
+    while (chosen.size() < k)
+      chosen.insert(static_cast<unsigned>(rng() % num_files));
+    files.assign(chosen.begin(), chosen.end());
+  }
+  return make_job(std::move(sets), num_files);
+}
+
+void expect_no_violations(const Scheduler& sched, int step) {
+  std::vector<audit::Violation> v;
+  sched.audit_collect(v);
+  ASSERT_TRUE(v.empty()) << "step " << step << ": [" << v.front().checker
+                         << "] " << v.front().message;
+}
+
+void run_worker_centric_property(Metric metric, int choose_n,
+                                 CombinedFormula formula,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const std::size_t num_tasks = 36;
+  const std::size_t num_files = 48;
+  const std::size_t num_sites = 3;
+  const std::size_t workers_per_site = 2;
+  const std::size_t num_workers = num_sites * workers_per_site;
+  const workload::Job job = random_job(rng, num_tasks, num_files);
+
+  // Small capacity: adds overflow constantly, exercising kEvicted re-keys.
+  FakeEngine flat_eng(job, num_sites, workers_per_site, /*capacity=*/10);
+  FakeEngine shard_eng(job, num_sites, workers_per_site, /*capacity=*/10);
+
+  WorkerCentricParams params;
+  params.metric = metric;
+  params.choose_n = choose_n;
+  params.combined_formula = formula;
+  WorkerCentricParams flat_params = params;
+  flat_params.options.use_sharded_index = false;
+  ASSERT_TRUE(params.options.use_sharded_index);  // the default
+  WorkerCentricScheduler flat(flat_params);
+  WorkerCentricScheduler sharded(params);
+
+  // Pre-warm a few files so build_index() seeds non-trivial counters.
+  for (int i = 0; i < 8; ++i) {
+    SiteId s(static_cast<SiteId::underlying_type>(rng() % num_sites));
+    FileId f(static_cast<FileId::underlying_type>(rng() % num_files));
+    flat_eng.add_file(s, f);
+    shard_eng.add_file(s, f);
+  }
+  flat.attach(flat_eng);
+  sharded.attach(shard_eng);
+  flat.on_job_submitted();
+  sharded.on_job_submitted();
+
+  std::vector<std::pair<TaskId, WorkerId>> live;  // assigned, not done
+  for (int step = 0; step < 600; ++step) {
+    const unsigned op = static_cast<unsigned>(rng() % 100);
+    if (op < 45) {
+      SiteId s(static_cast<SiteId::underlying_type>(rng() % num_sites));
+      FileId f(static_cast<FileId::underlying_type>(rng() % num_files));
+      flat_eng.add_file(s, f);
+      shard_eng.add_file(s, f);
+    } else if (op < 60) {
+      if (flat.pending_count() == 0) continue;
+      // Pure decision comparison; consumes the same RNG draw on both.
+      SiteId s(static_cast<SiteId::underlying_type>(rng() % num_sites));
+      const TaskId a = flat.peek_choice(s);
+      const TaskId b = sharded.peek_choice(s);
+      ASSERT_EQ(a, b) << "step " << step << " site " << s;
+    } else if (op < 85) {
+      if (flat.pending_count() == 0) continue;
+      WorkerId w(static_cast<WorkerId::underlying_type>(rng() % num_workers));
+      flat.on_worker_idle(w);
+      sharded.on_worker_idle(w);
+      ASSERT_FALSE(flat_eng.assignments.empty());
+      ASSERT_EQ(flat_eng.assignments.back(), shard_eng.assignments.back());
+      live.push_back(flat_eng.assignments.back());
+    } else if (op < 93) {
+      if (live.empty()) continue;
+      const std::size_t i = rng() % live.size();
+      const auto [t, w] = live[i];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      flat.on_task_completed(t, w);
+      sharded.on_task_completed(t, w);
+    } else {
+      if (live.empty()) continue;
+      // Crash a worker that holds work; its tasks return to the bag with
+      // counters rebuilt from the live caches (the re_add_pending path).
+      const WorkerId w = live[rng() % live.size()].second;
+      std::vector<TaskId> lost;
+      std::erase_if(live, [&](const std::pair<TaskId, WorkerId>& inst) {
+        if (inst.second != w) return false;
+        lost.push_back(inst.first);
+        return true;
+      });
+      flat.on_worker_failed(w, lost);
+      sharded.on_worker_failed(w, lost);
+    }
+    ASSERT_EQ(flat_eng.assignments, shard_eng.assignments) << "step " << step;
+    if (step % 37 == 0) {
+      expect_no_violations(sharded, step);
+      expect_no_violations(flat, step);
+    }
+  }
+}
+
+TEST(ShardedIndexProperty, OverlapChooseOne) {
+  run_worker_centric_property(Metric::kOverlap, 1, CombinedFormula::kProse,
+                              0xA11CE);
+}
+TEST(ShardedIndexProperty, OverlapChooseTwo) {
+  run_worker_centric_property(Metric::kOverlap, 2, CombinedFormula::kProse,
+                              0xB0B);
+}
+TEST(ShardedIndexProperty, RestChooseOne) {
+  run_worker_centric_property(Metric::kRest, 1, CombinedFormula::kProse,
+                              0xC4B1E);
+}
+TEST(ShardedIndexProperty, RestChooseTwo) {
+  run_worker_centric_property(Metric::kRest, 2, CombinedFormula::kProse,
+                              0xD0D0);
+}
+TEST(ShardedIndexProperty, CombinedChooseOne) {
+  run_worker_centric_property(Metric::kCombined, 1, CombinedFormula::kProse,
+                              0xE66);
+}
+TEST(ShardedIndexProperty, CombinedChooseTwo) {
+  run_worker_centric_property(Metric::kCombined, 2, CombinedFormula::kProse,
+                              0xF00D);
+}
+TEST(ShardedIndexProperty, CombinedVerbatimChooseTwo) {
+  run_worker_centric_property(Metric::kCombined, 2,
+                              CombinedFormula::kVerbatim, 0xFEED);
+}
+
+// --- Storage-affinity property test ------------------------------------
+
+TEST(ShardedIndexProperty, StorageAffinityReplicaPicksMatchFlat) {
+  std::mt19937_64 rng(20260805);
+  const std::size_t num_tasks = 30;
+  const std::size_t num_files = 40;
+  const std::size_t num_sites = 3;
+  const std::size_t workers_per_site = 2;
+  const std::size_t num_workers = num_sites * workers_per_site;
+  const workload::Job job = random_job(rng, num_tasks, num_files);
+
+  FakeEngine flat_eng(job, num_sites, workers_per_site, /*capacity=*/12);
+  FakeEngine shard_eng(job, num_sites, workers_per_site, /*capacity=*/12);
+
+  StorageAffinityParams flat_params;
+  flat_params.options.use_sharded_index = false;
+  StorageAffinityScheduler flat(flat_params);
+  StorageAffinityScheduler sharded{StorageAffinityParams{}};
+  flat.attach(flat_eng);
+  sharded.attach(shard_eng);
+  flat.on_job_submitted();
+  sharded.on_job_submitted();
+  // The initial distribution is index-independent but must agree too.
+  ASSERT_EQ(flat_eng.assignments, shard_eng.assignments);
+
+  std::set<unsigned> dead;
+  int kills = 0;
+  auto random_alive_worker = [&] {
+    unsigned w;
+    do {
+      w = static_cast<unsigned>(rng() % num_workers);
+    } while (dead.count(w));
+    return WorkerId(static_cast<WorkerId::underlying_type>(w));
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    const unsigned op = static_cast<unsigned>(rng() % 100);
+    if (op < 40) {
+      SiteId s(static_cast<SiteId::underlying_type>(rng() % num_sites));
+      FileId f(static_cast<FileId::underlying_type>(rng() % num_files));
+      flat_eng.add_file(s, f);
+      shard_eng.add_file(s, f);
+    } else if (op < 75) {
+      // Idle worker asks for a replica: the hot path under comparison.
+      const WorkerId w = random_alive_worker();
+      flat.on_worker_idle(w);
+      sharded.on_worker_idle(w);
+    } else if (op < 92) {
+      // Complete some incomplete task with a live instance (first
+      // finisher wins; siblings are cancelled — compare those too).
+      TaskId victim = TaskId::invalid();
+      const std::size_t start = rng() % num_tasks;
+      for (std::size_t i = 0; i < num_tasks; ++i) {
+        TaskId t(
+            static_cast<TaskId::underlying_type>((start + i) % num_tasks));
+        if (!flat.completed(t) && !flat.placements(t).empty()) {
+          victim = t;
+          break;
+        }
+      }
+      if (!victim.valid()) continue;
+      const WorkerId w = flat.placements(victim).front();
+      flat.on_task_completed(victim, w);
+      sharded.on_task_completed(victim, w);
+    } else if (kills < 2) {
+      const WorkerId w = random_alive_worker();
+      dead.insert(static_cast<unsigned>(w.value()));
+      flat_eng.dead_workers.insert(w);
+      shard_eng.dead_workers.insert(w);
+      std::vector<TaskId> lost;
+      for (std::size_t i = 0; i < num_tasks; ++i) {
+        TaskId t(static_cast<TaskId::underlying_type>(i));
+        if (flat.completed(t)) continue;
+        const auto& inst = flat.placements(t);
+        if (std::find(inst.begin(), inst.end(), w) != inst.end())
+          lost.push_back(t);
+      }
+      flat.on_worker_failed(w, lost);
+      sharded.on_worker_failed(w, lost);
+      ++kills;
+    }
+    ASSERT_EQ(flat_eng.assignments, shard_eng.assignments) << "step " << step;
+    ASSERT_EQ(flat_eng.cancellations, shard_eng.cancellations)
+        << "step " << step;
+    if (step % 41 == 0) {
+      expect_no_violations(sharded, step);
+      expect_no_violations(flat, step);  // flat has no index: vacuous pass
+    }
+  }
+}
+
+TEST(ShardedIndexProperty, StorageAffinityOrphanPickupMatchesFlat) {
+  // Total-outage corner: the last instance of a task dies while every
+  // other worker is down, so the task is parked (flat: empty placements;
+  // sharded: the orphan set) until some worker goes idle again.
+  std::mt19937_64 rng(7);
+  const workload::Job job = random_job(rng, /*num_tasks=*/3, /*num_files=*/6);
+  FakeEngine flat_eng(job, /*num_sites=*/1, /*workers_per_site=*/2, 10);
+  FakeEngine shard_eng(job, /*num_sites=*/1, /*workers_per_site=*/2, 10);
+
+  StorageAffinityParams flat_params;
+  flat_params.options.use_sharded_index = false;
+  StorageAffinityScheduler flat(flat_params);
+  StorageAffinityScheduler sharded{StorageAffinityParams{}};
+  flat.attach(flat_eng);
+  sharded.attach(shard_eng);
+  flat.on_job_submitted();
+  sharded.on_job_submitted();
+  ASSERT_EQ(flat_eng.assignments, shard_eng.assignments);
+
+  auto lost_on = [&](WorkerId w) {
+    std::vector<TaskId> lost;
+    for (unsigned i = 0; i < 3; ++i) {
+      const auto& inst = flat.placements(tid(i));
+      if (!flat.completed(tid(i)) &&
+          std::find(inst.begin(), inst.end(), w) != inst.end())
+        lost.push_back(tid(i));
+    }
+    return lost;
+  };
+
+  // Kill worker 0 (its tasks re-place onto worker 1), then worker 1 with
+  // no live worker left: everything becomes an orphan.
+  const WorkerId w0(0u), w1(1u);
+  flat_eng.dead_workers.insert(w0);
+  shard_eng.dead_workers.insert(w0);
+  auto lost0 = lost_on(w0);
+  flat.on_worker_failed(w0, lost0);
+  sharded.on_worker_failed(w0, lost0);
+  ASSERT_EQ(flat_eng.assignments, shard_eng.assignments);
+
+  flat_eng.dead_workers.insert(w1);
+  shard_eng.dead_workers.insert(w1);
+  auto lost1 = lost_on(w1);
+  ASSERT_FALSE(lost1.empty());
+  flat.on_worker_failed(w1, lost1);
+  sharded.on_worker_failed(w1, lost1);
+  expect_no_violations(sharded, /*step=*/-1);
+
+  // Worker 0 recovers and drains the orphans lowest-id-first; both paths
+  // must hand out the same tasks in the same order.
+  flat_eng.dead_workers.erase(w0);
+  shard_eng.dead_workers.erase(w0);
+  for (std::size_t i = 0; i < lost1.size(); ++i) {
+    flat.on_worker_idle(w0);
+    sharded.on_worker_idle(w0);
+  }
+  EXPECT_EQ(flat_eng.assignments, shard_eng.assignments);
+  expect_no_violations(sharded, /*step=*/-2);
+}
+
+// --- End-to-end eviction-churn stress under --audit --------------------
+//
+// A full simulation with tight caches (constant eviction) AND worker
+// churn (crash/recover, re_add_pending/orphan traffic), swept by the
+// invariant auditor: the sharded and flat runs must land on identical
+// totals, and no audit sweep may fire (a violation aborts the run).
+
+TEST(ShardedIndexStress, EvictionChurnUnderAuditMatchesFlat) {
+  workload::CoaddParams cp;
+  cp.num_tasks = 200;
+  cp.seed = 99;
+  const auto job = workload::generate_coadd(cp);
+
+  grid::GridConfig c;
+  c.tiers.num_sites = 4;
+  c.tiers.workers_per_site = 3;
+  c.capacity_files = 1000;  // tight: constant eviction churn
+  c.churn = grid::GridConfig::ChurnParams{
+      .mean_uptime_s = 4 * 3600.0, .mean_downtime_s = 1800.0, .seed = 17};
+  c.audit = true;
+  c.audit_interval_events = 2000;  // sweep often
+
+  sched::SchedulerSpec specs[3];
+  specs[0].algorithm = sched::Algorithm::kStorageAffinity;
+  specs[1].algorithm = sched::Algorithm::kRest;
+  specs[1].choose_n = 2;
+  specs[2].algorithm = sched::Algorithm::kCombined;
+
+  for (sched::SchedulerSpec& spec : specs) {
+    SCOPED_TRACE(spec.name());
+    spec.options.use_sharded_index = true;
+    const auto sharded = grid::run_once(c, job, spec, /*seed=*/3);
+    spec.options.use_sharded_index = false;
+    const auto flat = grid::run_once(c, job, spec, /*seed=*/3);
+    EXPECT_EQ(sharded.makespan_s, flat.makespan_s);
+    EXPECT_EQ(sharded.tasks_completed, flat.tasks_completed);
+    EXPECT_EQ(sharded.total_file_transfers(), flat.total_file_transfers());
+    EXPECT_EQ(sharded.total_bytes_transferred(),
+              flat.total_bytes_transferred());
+  }
+}
+
+}  // namespace
+}  // namespace wcs::sched
