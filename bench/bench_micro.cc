@@ -263,7 +263,7 @@ void BM_CoaddGeneration(benchmark::State& state) {
   cp.num_tasks = 6000;
   for (auto _ : state) {
     auto job = workload::generate_coadd(cp);
-    benchmark::DoNotOptimize(job.tasks.size());
+    benchmark::DoNotOptimize(job.num_tasks());
   }
   state.SetItemsProcessed(state.iterations() * 6000);
 }

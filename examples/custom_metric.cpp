@@ -31,7 +31,7 @@ class NetBytesScheduler final : public sched::Scheduler {
 
   void on_job_submitted() override {
     pending_.clear();
-    for (const auto& t : engine().job().tasks) pending_.push_back(t.id);
+    for (const auto& t : engine().job().tasks()) pending_.push_back(t.id);
   }
 
   void on_worker_idle(WorkerId worker) override {

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   wp.num_tasks = num_tasks;
   workload::Job job = workload::generate_coadd(wp);
   workload::JobStats stats = workload::compute_stats(job);
-  std::cout << "workload: " << job.name << " — " << stats.num_tasks
+  std::cout << "workload: " << job.name() << " — " << stats.num_tasks
             << " tasks, " << stats.distinct_files << " files, "
             << stats.avg_files_per_task << " files/task avg\n";
 

@@ -16,7 +16,7 @@ namespace {
 
 void characterize(const workload::Job& job) {
   workload::JobStats s = workload::compute_stats(job);
-  std::cout << "\n== " << job.name << " ==\n";
+  std::cout << "\n== " << job.name() << " ==\n";
   std::cout << "  tasks: " << s.num_tasks
             << "  distinct files: " << s.distinct_files
             << "  files/task: " << s.min_files_per_task << ".."

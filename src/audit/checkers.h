@@ -139,4 +139,34 @@ struct ResultsLedgerSnapshot {
 void check_results_ledger(const ResultsLedgerSnapshot& snap,
                           std::vector<Violation>& out);
 
+// --- (f) memory layout --------------------------------------------------
+
+// Soundness of the flat hot structures (common/arena.h, common/interner.h,
+// the slotted caches and CSR tables). Owners contribute their own
+// findings — NodeArena::structural_defects(), StringInterner::self_check(),
+// slot-aliasing scans of the flat tables — and the checker validates the
+// arena accounting laws on top.
+struct ArenaAccounting {
+  std::string label;  // e.g. "flow-table arena"
+  std::uint64_t total_allocations = 0;
+  std::uint64_t live_allocations = 0;
+  std::uint64_t freelist_hits = 0;
+  std::uint64_t large_allocations = 0;
+  std::uint64_t large_live = 0;
+  std::size_t pages = 0;
+  std::size_t page_bytes = 0;
+  std::vector<std::string> defects;  // NodeArena::structural_defects()
+};
+
+struct MemoryLayoutSnapshot {
+  std::string label;  // e.g. "run"
+  std::size_t interner_symbols = 0;
+  std::vector<std::string> interner_defects;  // StringInterner::self_check()
+  std::vector<std::string> table_defects;     // SoA slot-aliasing findings
+  std::vector<ArenaAccounting> arenas;
+};
+
+void check_memory_layout(const MemoryLayoutSnapshot& snap,
+                         std::vector<Violation>& out);
+
 }  // namespace wcs::audit

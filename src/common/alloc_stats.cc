@@ -1,0 +1,108 @@
+#include "common/alloc_stats.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace wcs::common {
+namespace {
+AllocCounters g_counters;
+}  // namespace
+
+AllocCounters& alloc_counters() { return g_counters; }
+
+bool alloc_counting_enabled() {
+#if defined(WCS_NO_ALLOC_COUNTING)
+  return false;
+#else
+  return true;
+#endif
+}
+
+AllocSnapshot alloc_snapshot() {
+  AllocSnapshot snap;
+  snap.allocations = g_counters.allocations.load(std::memory_order_relaxed);
+  snap.frees = g_counters.frees.load(std::memory_order_relaxed);
+  snap.bytes = g_counters.bytes.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace wcs::common
+
+#if !defined(WCS_NO_ALLOC_COUNTING)
+
+namespace {
+
+inline void* counted_alloc(std::size_t size, std::size_t align) {
+  auto& c = wcs::common::alloc_counters();
+  c.allocations.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    std::size_t padded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, padded);
+  }
+  return std::malloc(size);
+}
+
+inline void counted_free(void* p) {
+  if (p == nullptr) return;
+  wcs::common::alloc_counters().frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+inline void* counted_alloc_or_throw(std::size_t size, std::size_t align) {
+  void* p = counted_alloc(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return counted_alloc_or_throw(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc_or_throw(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_or_throw(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_or_throw(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // !WCS_NO_ALLOC_COUNTING

@@ -1,0 +1,50 @@
+// Process-wide heap-allocation counters.
+//
+// alloc_stats.cc replaces the global operator new/delete family with
+// thin counting wrappers around malloc/free. The counters are the
+// measurement backbone for the memory-lean acceptance criteria: the
+// end-to-end benchmark reports allocations-per-event for the flat vs
+// legacy layouts, and tests assert that disabled observability paths
+// are allocation-free.
+//
+// Counting uses relaxed atomics (a handful of cycles per allocation)
+// and is compiled out under sanitizers (WCS_NO_ALLOC_COUNTING), where
+// replacing operator new would fight the interceptors. Call
+// alloc_counting_enabled() before asserting on deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace wcs::common {
+
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocations{0};  // operator new calls
+  std::atomic<std::uint64_t> frees{0};        // operator delete calls
+  std::atomic<std::uint64_t> bytes{0};        // cumulative bytes requested
+};
+
+// Plain (non-atomic) copy of the counters at one instant.
+struct AllocSnapshot {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+
+// The live counters. Referencing this function is also what pulls the
+// counting operator new/delete definitions out of the static archive,
+// so any binary that reads the counters is guaranteed to be counting.
+AllocCounters& alloc_counters();
+
+// False when counting is compiled out (sanitizer builds).
+bool alloc_counting_enabled();
+
+AllocSnapshot alloc_snapshot();
+
+// Convenience: allocations performed between two snapshots.
+inline std::uint64_t allocations_between(const AllocSnapshot& before,
+                                         const AllocSnapshot& after) {
+  return after.allocations - before.allocations;
+}
+
+}  // namespace wcs::common

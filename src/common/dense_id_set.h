@@ -1,0 +1,77 @@
+// Bitmap set over a dense id universe.
+//
+// Replaces std::set<TaskId> where the ids are dense 0-based indexes and
+// the required operations are insert / erase / contains / lowest-member
+// (the orphan pool in storage-affinity picks the lowest task id first).
+// One bit per id, no per-element nodes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wcs::common {
+
+class DenseIdSet {
+ public:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  void reset(std::size_t universe) {
+    words_.assign((universe + 63) / 64, 0);
+    universe_ = universe;
+    size_ = 0;
+  }
+
+  bool insert(std::uint32_t id) {
+    WCS_DCHECK(id < universe_);
+    std::uint64_t& w = words_[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if (w & bit) return false;
+    w |= bit;
+    ++size_;
+    return true;
+  }
+
+  bool erase(std::uint32_t id) {
+    WCS_DCHECK(id < universe_);
+    std::uint64_t& w = words_[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if (!(w & bit)) return false;
+    w &= ~bit;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    if (id >= universe_) return false;
+    return (words_[id >> 6] >> (id & 63)) & 1;
+  }
+
+  // Lowest member, or kNpos when empty.
+  [[nodiscard]] std::uint32_t first() const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return static_cast<std::uint32_t>(
+            i * 64 + static_cast<std::uint32_t>(std::countr_zero(words_[i])));
+      }
+    }
+    return kNpos;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t universe_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wcs::common

@@ -1,0 +1,153 @@
+// Small inline vector for trivially copyable elements.
+//
+// Replacement for the hot vector<vector<Id>> tables (task placements,
+// per-task running instances) whose inner vectors hold 0–2 elements in
+// every paper configuration: the first N elements live inside the
+// object, so the common case does no heap allocation at all, and a
+// vector<InlineVec> is one contiguous block. Growth past N spills to
+// the heap transparently (rare: only ablations with replication > N).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace wcs::common {
+
+template <typename T, unsigned N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for trivially copyable element types");
+  static_assert(N >= 1);
+
+ public:
+  InlineVec() = default;
+
+  InlineVec(const InlineVec& other) { assign_from(other); }
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      release();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  InlineVec(InlineVec&& other) noexcept { steal_from(other); }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~InlineVec() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T* data() { return heap_ ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const { return heap_ ? heap_ : inline_; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    WCS_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    WCS_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T v) {
+    if (size_ == capacity()) grow();
+    data()[size_++] = v;
+  }
+
+  void pop_back() {
+    WCS_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  // Remove the first occurrence of `v`, preserving order (matches the
+  // erase(remove(...)) idiom the legacy vectors used). Returns whether
+  // anything was removed.
+  bool erase_value(const T& v) {
+    T* d = data();
+    T* it = std::find(d, d + size_, v);
+    if (it == d + size_) return false;
+    std::copy(it + 1, d + size_, it);
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    const T* d = data();
+    return std::find(d, d + size_, v) != d + size_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t capacity() const {
+    return heap_ ? heap_cap_ : N;
+  }
+
+  void grow() {
+    const std::uint32_t new_cap = capacity() * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    release();
+    heap_ = fresh;
+    heap_cap_ = new_cap;
+  }
+
+  void release() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      heap_cap_ = 0;
+    }
+  }
+
+  void assign_from(const InlineVec& other) {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      heap_cap_ = other.heap_cap_;
+      heap_ = static_cast<T*>(::operator new(heap_cap_ * sizeof(T)));
+      std::memcpy(heap_, other.heap_, size_ * sizeof(T));
+    } else {
+      std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    }
+  }
+
+  void steal_from(InlineVec& other) {
+    size_ = other.size_;
+    heap_ = other.heap_;
+    heap_cap_ = other.heap_cap_;
+    if (heap_ == nullptr) std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    other.heap_ = nullptr;
+    other.heap_cap_ = 0;
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::uint32_t heap_cap_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace wcs::common

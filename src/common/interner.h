@@ -1,0 +1,96 @@
+// Global string interner.
+//
+// Names that used to travel as std::string per object (job names,
+// scenario labels) collapse to a 4-byte Symbol: an index into one
+// process-wide table. Interning the same text twice returns the same
+// Symbol, so equality is an integer compare and the bytes are stored
+// once.
+//
+// The table is guarded by a mutex because run_matrix interns from the
+// thread pool. Views stay valid forever: the backing strings live in a
+// deque, whose elements never move.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace wcs::common {
+
+struct SymbolTag {};
+using Symbol = StrongId<SymbolTag>;
+
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  Symbol intern(std::string_view text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(text);
+    if (it != index_.end()) return Symbol(it->second);
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    const std::string& stored = strings_.emplace_back(text);
+    index_.emplace(std::string_view(stored), id);
+    return Symbol(id);
+  }
+
+  // The interned bytes. Valid for the interner's lifetime.
+  [[nodiscard]] std::string_view view(Symbol sym) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    WCS_CHECK_MSG(sym.valid() && sym.value() < strings_.size(),
+                  "view of unknown symbol " << sym);
+    return strings_[sym.value()];
+  }
+
+  [[nodiscard]] bool known(Symbol sym) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sym.valid() && sym.value() < strings_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return strings_.size();
+  }
+
+  // Table invariants for the memory-layout audit checker: the lookup
+  // index and the storage must describe the same bijection.
+  [[nodiscard]] std::vector<std::string> self_check() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> defects;
+    if (index_.size() != strings_.size())
+      defects.push_back("interner index and storage disagree on size");
+    for (const auto& [text, id] : index_) {
+      if (id >= strings_.size()) {
+        defects.push_back("interner index points past storage");
+        continue;
+      }
+      if (strings_[id] != text)
+        defects.push_back("interner index entry does not round-trip");
+    }
+    return defects;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  // Deque: element addresses are stable, so index_ keys (views into the
+  // stored strings) and caller-held views never dangle.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+// The process-wide interner used for job and scenario names.
+inline StringInterner& global_interner() {
+  static StringInterner interner;
+  return interner;
+}
+
+}  // namespace wcs::common

@@ -1,0 +1,41 @@
+// Memory-layout selector for the hot data plane.
+//
+// kFlat (default) is the dense, allocation-free layout introduced in
+// PR 6: slotted vectors instead of per-node hash maps in FileCache,
+// recycled batch objects in DataServer, CSR inverted file indexes and
+// inline-vector placement tables in the schedulers, and arena-backed
+// index nodes. kLegacy is the pre-PR-6 pointer-heavy reference layout,
+// kept behind --legacy-layout for exactly one PR so the golden-run
+// suite can prove the two produce byte-identical results.
+#pragma once
+
+#include <string_view>
+
+namespace wcs::common {
+
+enum class MemoryLayout {
+  kFlat,    // dense slotted/SoA structures (default)
+  kLegacy,  // node-based reference layout (one-PR deprecation window)
+};
+
+inline const char* to_string(MemoryLayout layout) {
+  switch (layout) {
+    case MemoryLayout::kFlat: return "flat";
+    case MemoryLayout::kLegacy: return "legacy";
+  }
+  return "?";
+}
+
+inline bool parse_memory_layout(std::string_view text, MemoryLayout* out) {
+  if (text == "flat") {
+    *out = MemoryLayout::kFlat;
+    return true;
+  }
+  if (text == "legacy") {
+    *out = MemoryLayout::kLegacy;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wcs::common

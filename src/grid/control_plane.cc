@@ -169,8 +169,7 @@ void ControlPlane::finish_task(WorkerId worker, TaskId task) {
   trace(metrics::TimelineEventKind::kCompleted, task, worker);
   if (completed_count_ == job_.num_tasks() && hooks_.on_all_tasks_completed)
     hooks_.on_all_tasks_completed();
-  auto& inst = instances_[task.value()];
-  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+  instances_[task.value()].erase_value(worker);
 
   WCS_TRACE("task " << task << " done on worker " << worker << " at "
                     << sim_.now() << "s (" << completed_count_ << "/"
@@ -188,7 +187,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
   if (rt.current == task && rt.state == WorkerPhase::kFetching) {
     bool cancelled = data_.cancel_batch(rt.info.site, task, worker);
     WCS_CHECK_MSG(cancelled, "fetching task had no batch at the data server");
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    inst.erase_value(worker);
     ++replicas_cancelled_;
     trace(metrics::TimelineEventKind::kCancelled, task, worker);
     go_idle(worker);
@@ -198,7 +197,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
     WCS_CHECK(sim_.cancel(rt.compute_event));
     rt.compute_event = EventId::invalid();
     data_.release(rt.info.site, task, worker);
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    inst.erase_value(worker);
     ++replicas_cancelled_;
     trace(metrics::TimelineEventKind::kCancelled, task, worker);
     go_idle(worker);
@@ -208,7 +207,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
   auto qit = std::find(rt.queue.begin(), rt.queue.end(), task);
   if (qit == rt.queue.end()) return false;
   rt.queue.erase(qit);
-  inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+  inst.erase_value(worker);
   ++replicas_cancelled_;
   trace(metrics::TimelineEventKind::kCancelled, task, worker);
   return true;
@@ -252,8 +251,7 @@ std::vector<TaskId> ControlPlane::withdraw_worker(WorkerId worker) {
   rt.queue.clear();
   rt.current = TaskId::invalid();
   for (TaskId t : lost) {
-    auto& inst = instances_[t.value()];
-    inst.erase(std::remove(inst.begin(), inst.end(), worker), inst.end());
+    instances_[t.value()].erase_value(worker);
     trace(metrics::TimelineEventKind::kCancelled, t, worker);
   }
   rt.state = WorkerPhase::kOffline;

@@ -30,6 +30,7 @@
 
 #include "audit/checkers.h"
 #include "common/ids.h"
+#include "common/inline_vec.h"
 #include "common/units.h"
 #include "compute/capacity.h"
 #include "grid/config.h"
@@ -154,8 +155,11 @@ class ControlPlane {
   Hooks hooks_;
 
   std::vector<WorkerRuntime> workers_;
-  std::vector<char> completed_;                   // by task id
-  std::vector<std::vector<WorkerId>> instances_;  // active placements
+  std::vector<char> completed_;  // by task id
+  // Active placements by task id. Replication degree is 1–2 in every
+  // paper configuration, so the instances table is one flat array of
+  // two-slot inline vectors — no per-task heap nodes.
+  std::vector<common::InlineVec<WorkerId, 2>> instances_;
   std::size_t completed_count_ = 0;
   SimTime last_completion_ = 0;
   std::uint64_t assignments_ = 0;

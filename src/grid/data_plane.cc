@@ -15,7 +15,7 @@ DataPlane::DataPlane(const GridConfig& config, const workload::Job& job,
     servers_.push_back(std::make_unique<storage::DataServer>(
         SiteId(static_cast<SiteId::underlying_type>(s)), sim, *flows_,
         topo_.data_server_nodes[s], topo_.file_server_node, job.catalog,
-        config.capacity_files, config.eviction));
+        config.capacity_files, config.eviction, config.layout));
   }
 
   if (config.replication) {
@@ -32,7 +32,7 @@ DataPlane::DataPlane(const GridConfig& config, const workload::Job& job,
 }
 
 void DataPlane::request_batch(SiteId site, TaskId task, WorkerId worker,
-                              const std::vector<FileId>& files,
+                              std::span<const FileId> files,
                               storage::BatchCallback ready) {
   servers_[site.value()]->request_batch(task, worker, files,
                                         std::move(ready));

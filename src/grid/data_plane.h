@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -39,7 +40,7 @@ class DataPlane {
 
   // --- Batch service (control plane -> site data server) ---------------
   void request_batch(SiteId site, TaskId task, WorkerId worker,
-                     const std::vector<FileId>& files,
+                     std::span<const FileId> files,
                      storage::BatchCallback ready);
   [[nodiscard]] bool cancel_batch(SiteId site, TaskId task, WorkerId worker);
   void release(SiteId site, TaskId task, WorkerId worker);

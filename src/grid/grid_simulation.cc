@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/interner.h"
 #include "common/rng.h"
 
 namespace wcs::grid {
@@ -107,6 +108,33 @@ void GridSimulation::register_audit_checkers() {
     snap.scheduled_total = counts.scheduled;
     audit::check_event_kernel(snap, out);
     audit_prev_now_ = sim_.now();  // audit-only bookkeeping
+  });
+  auditor_->add_checker("memory-layout", [this](auto& out) {
+    audit::MemoryLayoutSnapshot snap;
+    snap.label = "run";
+    snap.interner_symbols = common::global_interner().size();
+    snap.interner_defects = common::global_interner().self_check();
+    for (std::size_t s = 0; s < data_->num_sites(); ++s) {
+      const storage::DataServer& ds =
+          data_->server(SiteId(static_cast<SiteId::underlying_type>(s)));
+      for (std::string& d : ds.memory_defects())
+        snap.table_defects.push_back("site " + std::to_string(s) +
+                                     " data server: " + d);
+    }
+    const common::NodeArena& arena = data_->flows().arena();
+    audit::ArenaAccounting acc;
+    acc.label = "flow-table arena";
+    const common::NodeArena::Stats& st = arena.stats();
+    acc.total_allocations = st.total_allocations;
+    acc.live_allocations = st.live_allocations;
+    acc.freelist_hits = st.freelist_hits;
+    acc.large_allocations = st.large_allocations;
+    acc.large_live = st.large_live;
+    acc.pages = st.pages;
+    acc.page_bytes = st.page_bytes;
+    acc.defects = arena.structural_defects();
+    snap.arenas.push_back(std::move(acc));
+    audit::check_memory_layout(snap, out);
   });
 }
 

@@ -171,63 +171,67 @@ void FlowManager::reallocate() {
 
   // 2. Progressive filling: repeatedly find the most constrained link
   // (smallest per-flow fair share), freeze its flows at that share, and
-  // subtract their demand from the other links they cross.
-  std::vector<Flow*> unfixed;
-  unfixed.reserve(flows_.size());
+  // subtract their demand from the other links they cross. The worklist
+  // and the per-link capacity/crossing tables are hoisted members
+  // (indexed by dense link id), so this loop does not allocate once the
+  // scratch has grown to the topology's size.
+  std::vector<Flow*>& unfixed = realloc_unfixed_;
+  unfixed.clear();
   for (auto& [id, f] : flows_)
     if (f.active) unfixed.push_back(&f);
   // Deterministic order regardless of hash-map iteration.
   std::sort(unfixed.begin(), unfixed.end(),
             [](const Flow* a, const Flow* b) { return a->id < b->id; });
 
-  std::unordered_map<LinkId::underlying_type, double> cap;
-  std::unordered_map<LinkId::underlying_type, int> crossing;
+  link_cap_.assign(topo_.num_links(), 0);
+  link_crossing_.assign(topo_.num_links(), 0);
   for (Flow* f : unfixed) {
     for (LinkId lid : f->route) {
-      cap.emplace(lid.value(), topo_.link(lid).bandwidth_bps);
-      ++crossing[lid.value()];
+      link_cap_[lid.value()] = topo_.link(lid).bandwidth_bps;
+      ++link_crossing_[lid.value()];
     }
   }
 
   while (!unfixed.empty()) {
     // Find the bottleneck link: min fair share among links still crossed
-    // by unfixed flows. Ties broken by link id for determinism.
+    // by unfixed flows. The ascending scan with a strict `<` picks the
+    // lowest link id among ties — the same (share, id) order the old
+    // map-based scan enforced explicitly.
     double best_share = std::numeric_limits<double>::infinity();
     LinkId::underlying_type best_link = 0;
     bool found = false;
-    for (const auto& [lid, c] : cap) {
-      int n = crossing[lid];
+    for (std::size_t lid = 0; lid < link_cap_.size(); ++lid) {
+      int n = link_crossing_[lid];
       if (n <= 0) continue;
-      double share = c / n;
-      if (share < best_share ||
-          (share == best_share && (!found || lid < best_link))) {
+      double share = link_cap_[lid] / n;
+      if (share < best_share) {
         best_share = share;
-        best_link = lid;
+        best_link = static_cast<LinkId::underlying_type>(lid);
         found = true;
       }
     }
     WCS_CHECK(found);
 
-    // Freeze every unfixed flow crossing the bottleneck at best_share.
-    std::vector<Flow*> still;
-    still.reserve(unfixed.size());
+    // Freeze every unfixed flow crossing the bottleneck at best_share;
+    // compact survivors in place (same order the old copy preserved).
+    std::size_t kept = 0;
     for (Flow* f : unfixed) {
       bool hits = std::find_if(f->route.begin(), f->route.end(),
                                [&](LinkId l) {
                                  return l.value() == best_link;
                                }) != f->route.end();
       if (!hits) {
-        still.push_back(f);
+        unfixed[kept++] = f;
         continue;
       }
       f->rate = best_share;
       for (LinkId lid : f->route) {
-        cap[lid.value()] -= best_share;
-        if (cap[lid.value()] < 0) cap[lid.value()] = 0;
-        --crossing[lid.value()];
+        link_cap_[lid.value()] -= best_share;
+        if (link_cap_[lid.value()] < 0) link_cap_[lid.value()] = 0;
+        --link_crossing_[lid.value()];
       }
     }
-    unfixed.swap(still);
+    unfixed.resize(kept);
   }
 
   // 3. Reschedule completion events at the new rates.

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "audit/checkers.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/units.h"
@@ -32,6 +34,7 @@ class FlowManager {
  public:
   FlowManager(sim::Simulator& simulator, const Topology& topology)
       : sim_(simulator), topo_(topology),
+        flows_(FlowMapAlloc(&flow_arena_)),
         link_bytes_(topology.num_links(), 0) {}
 
   FlowManager(const FlowManager&) = delete;
@@ -76,6 +79,9 @@ class FlowManager {
   // still in its latency phase. Primarily for tests.
   [[nodiscard]] double flow_rate(FlowId id) const;
 
+  // The arena backing the flow table (memory-layout audit / bench hook).
+  [[nodiscard]] const common::NodeArena& arena() const { return flow_arena_; }
+
  private:
   struct Flow {
     FlowId id;
@@ -97,15 +103,34 @@ class FlowManager {
   // allocation, and reschedule completion events.
   void reallocate();
 
+  // Flow-table nodes recycle through a per-manager arena: flow start /
+  // completion churn is the network side's entire allocation traffic.
+  // The bucket array exceeds the small-object ceiling and goes through
+  // the arena's (counted) large path. Node placement cannot change
+  // unordered_map iteration order — that is fixed by the bucket count
+  // and insertion sequence, both allocator-independent.
+  using FlowMapAlloc = common::ArenaAlloc<std::pair<const FlowId, Flow>>;
+  using FlowMap = std::unordered_map<FlowId, Flow, std::hash<FlowId>,
+                                     std::equal_to<FlowId>, FlowMapAlloc>;
+
   sim::Simulator& sim_;
   const Topology& topo_;
-  std::unordered_map<FlowId, Flow> flows_;
+  common::NodeArena flow_arena_;  // declared before flows_ (dtor order)
+  FlowMap flows_;
   std::uint64_t next_flow_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;
   double bytes_started_ = 0;
   double bytes_delivered_ = 0;
   std::vector<double> link_bytes_;
+
+  // reallocate() scratch, hoisted so the progressive-filling loop runs
+  // allocation-free: the active-flow worklist plus flat per-link
+  // capacity/crossing tables indexed by dense link id (the previous
+  // implementation built two unordered_maps per reallocation).
+  std::vector<Flow*> realloc_unfixed_;
+  std::vector<double> link_cap_;
+  std::vector<int> link_crossing_;
 
   // Observability (all null when disabled).
   obs::EventTracer* tracer_ = nullptr;

@@ -6,6 +6,9 @@ namespace wcs::sched {
 
 void ShardedTaskIndex::reset(std::size_t num_tasks) {
   buckets_.clear();
+  // Every node is back on the freelists now; rewind the bump path so a
+  // reused index refills its existing pages from the start.
+  arena_->reset();
   slots_.assign(num_tasks, Slot{});
   size_ = 0;
 }
@@ -16,7 +19,8 @@ void ShardedTaskIndex::insert(TaskId task, std::uint64_t key,
                 "sharded index: task " << task << " out of range");
   Slot& slot = slots_[task.value()];
   WCS_CHECK_MSG(!slot.present, "sharded index: duplicate insert " << task);
-  auto [it, inserted] = buckets_.try_emplace(key, Bucket(order_));
+  auto [it, inserted] =
+      buckets_.try_emplace(key, Bucket(order_, EntryAlloc(arena_.get())));
   const bool entry_new = it->second.insert(Entry{rank, task}).second;
   WCS_CHECK(entry_new);
   (void)inserted;
@@ -85,6 +89,8 @@ std::vector<std::string> ShardedTaskIndex::structural_defects() const {
        << ", present slots " << present;
     defects.push_back(os.str());
   }
+  for (std::string& d : arena_->structural_defects())
+    defects.push_back("node arena: " + d);
   return defects;
 }
 

@@ -37,10 +37,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/ids.h"
 
@@ -65,11 +68,55 @@ class ShardedTaskIndex {
     }
   };
 
-  using Bucket = std::set<Entry, EntryOrder>;
-  using BucketMap = std::map<std::uint64_t, Bucket>;
+  // Tree nodes live in a per-index NodeArena (common/arena.h): the
+  // steady insert/erase churn recycles node-sized blocks through the
+  // arena's freelists instead of hitting the global heap, and reset()
+  // rewinds the whole pool in O(1). Node placement cannot change
+  // comparator-driven iteration order, so the walk stays byte-identical
+  // to the unpooled index.
+  using EntryAlloc = common::ArenaAlloc<Entry>;
+  using Bucket = std::set<Entry, EntryOrder, EntryAlloc>;
+  using BucketAlloc =
+      common::ArenaAlloc<std::pair<const std::uint64_t, Bucket>>;
+  using BucketMap =
+      std::map<std::uint64_t, Bucket, std::less<std::uint64_t>, BucketAlloc>;
 
   explicit ShardedTaskIndex(bool prefer_high_id = false)
-      : order_{prefer_high_id} {}
+      : order_{prefer_high_id},
+        arena_(std::make_unique<common::NodeArena>()),
+        buckets_(BucketAlloc(arena_.get())) {}
+
+  // Copies rebuild the buckets in a fresh arena (allocators must not be
+  // shared across independently-destroyed indexes); moves transfer the
+  // arena together with the nodes that live in it. Move assignment is
+  // destroy-and-rebuild because the default member-wise order would free
+  // our arena while buckets_ still holds nodes inside it.
+  ShardedTaskIndex(const ShardedTaskIndex& other)
+      : order_(other.order_),
+        arena_(std::make_unique<common::NodeArena>()),
+        buckets_(BucketAlloc(arena_.get())),
+        slots_(other.slots_),
+        size_(other.size_) {
+    for (const auto& [key, bucket] : other.buckets_)
+      buckets_.emplace(key, Bucket(bucket.begin(), bucket.end(), order_,
+                                   EntryAlloc(arena_.get())));
+  }
+  ShardedTaskIndex& operator=(const ShardedTaskIndex& other) {
+    if (this != &other) {
+      ShardedTaskIndex tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  ShardedTaskIndex(ShardedTaskIndex&&) noexcept = default;
+  ShardedTaskIndex& operator=(ShardedTaskIndex&& other) noexcept {
+    if (this != &other) {
+      this->~ShardedTaskIndex();
+      new (this) ShardedTaskIndex(std::move(other));
+    }
+    return *this;
+  }
+  ~ShardedTaskIndex() = default;
 
   // Drops every entry and sizes the slot table for task ids [0, num_tasks).
   void reset(std::size_t num_tasks);
@@ -101,9 +148,13 @@ class ShardedTaskIndex {
   [[nodiscard]] const BucketMap& buckets() const { return buckets_; }
 
   // Structural self-check for the auditor: every slot marked present has
-  // a matching bucket entry, counts agree, no empty bucket survives.
-  // Returns human-readable defect descriptions (empty when coherent).
+  // a matching bucket entry, counts agree, no empty bucket survives,
+  // and the node arena's accounting balances. Returns human-readable
+  // defect descriptions (empty when coherent).
   [[nodiscard]] std::vector<std::string> structural_defects() const;
+
+  // The node arena backing this index (bench/audit hook).
+  [[nodiscard]] const common::NodeArena& arena() const { return *arena_; }
 
  private:
   struct Slot {
@@ -113,6 +164,9 @@ class ShardedTaskIndex {
   };
 
   EntryOrder order_;
+  // Declared before buckets_ so the container (and its nodes) is
+  // destroyed before the arena that owns their storage.
+  std::unique_ptr<common::NodeArena> arena_;
   BucketMap buckets_;
   std::vector<Slot> slots_;  // by task id
   std::size_t size_ = 0;

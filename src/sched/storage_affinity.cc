@@ -20,7 +20,7 @@ void StorageAffinityScheduler::on_job_submitted() {
   placements_.assign(num_tasks, {});
   completed_.assign(num_tasks, 0);
   worker_load_.assign(engine().num_workers(), 0);
-  orphans_.clear();
+  orphans_.reset(num_tasks);
   // Subscribe to cache notifications BEFORE any assignment so no
   // mutation can slip past the incremental byte counters.
   if (sharded()) build_affinity_index();
@@ -39,9 +39,14 @@ void StorageAffinityScheduler::build_affinity_index() {
   const std::size_t num_tasks = job.num_tasks();
   const std::size_t num_sites = engine().num_sites();
 
-  tasks_of_file_.assign(job.catalog.num_files(), {});
-  for (const workload::Task& t : job.tasks)
-    for (FileId f : t.files) tasks_of_file_[f.value()].push_back(t.id);
+  // CSR build: count row widths, finalize, fill in task order — each
+  // row ends up in the same order the old per-file push_back produced.
+  tasks_of_file_.reset(job.catalog.num_files());
+  for (const workload::Task& t : job.tasks())
+    for (FileId f : t.files) tasks_of_file_.count(f.value());
+  tasks_of_file_.finalize();
+  for (const workload::Task& t : job.tasks())
+    for (FileId f : t.files) tasks_of_file_.push(f.value(), t.id);
 
   cached_bytes_.assign(num_sites, std::vector<Bytes>(num_tasks, 0));
   replica_index_.assign(num_sites,
@@ -52,7 +57,7 @@ void StorageAffinityScheduler::build_affinity_index() {
     const storage::FileCache& cache = engine().site_cache(site);
     for (FileId f : cache.contents()) {
       const Bytes sz = job.catalog.size(f);
-      for (TaskId t : tasks_of_file_[f.value()])
+      for (TaskId t : tasks_of_file_.row(f.value()))
         cached_bytes_[s][t.value()] += sz;
     }
     engine().set_cache_listener(
@@ -71,7 +76,7 @@ void StorageAffinityScheduler::on_cache_event(SiteId site,
   const Bytes sz = engine().job().catalog.size(file);
   std::vector<Bytes>& bytes = cached_bytes_[site.value()];
   ShardedTaskIndex& shard = replica_index_[site.value()];
-  for (TaskId t : tasks_of_file_[file.value()]) {
+  for (TaskId t : tasks_of_file_.row(file.value())) {
     if (event == storage::CacheEvent::kAdded) {
       bytes[t.value()] += sz;
     } else {
@@ -143,7 +148,7 @@ void StorageAffinityScheduler::distribute_all() {
     return best;
   };
 
-  for (const workload::Task& task : job.tasks) {
+  for (const workload::Task& task : job.tasks()) {
     // Pick the site with maximal projected byte overlap among sites that
     // still have queue headroom; ties to the least loaded site, then the
     // lowest id.
@@ -228,9 +233,7 @@ void StorageAffinityScheduler::on_worker_idle(WorkerId worker) {
         static_cast<std::size_t>(params_.max_replicas))
       continue;
     TaskId t(static_cast<TaskId::underlying_type>(i));
-    if (std::find(instances.begin(), instances.end(), worker) !=
-        instances.end())
-      continue;  // never two instances on one worker
+    if (instances.contains(worker)) continue;  // never two on one worker
     double affinity = cache_affinity(t, site);
     // Ties (typically all-zero affinity) go to the HIGHEST task id: queues
     // were filled in task order, so high ids sit at queue tails, farthest
@@ -252,8 +255,8 @@ void StorageAffinityScheduler::on_worker_idle_sharded(WorkerId worker) {
   // Orphan pickup: the ordered set mirrors the flat scan's ascending-id
   // walk, so the lowest orphan id wins in O(log T).
   if (!orphans_.empty()) {
-    const TaskId t = *orphans_.begin();
-    orphans_.erase(orphans_.begin());
+    const TaskId t(static_cast<TaskId::underlying_type>(orphans_.first()));
+    orphans_.erase(t.value());
     placements_[t.value()].push_back(worker);
     sync_replicable(t);
     engine().assign_task(t, worker);
@@ -272,9 +275,7 @@ void StorageAffinityScheduler::on_worker_idle_sharded(WorkerId worker) {
        ++it) {
     for (const ShardedTaskIndex::Entry& e : it->second) {
       const auto& instances = placements_[e.task.value()];
-      if (std::find(instances.begin(), instances.end(), worker) !=
-          instances.end())
-        continue;  // never two instances on one worker
+      if (instances.contains(worker)) continue;  // never two on one worker
       best = e.task;
       break;
     }
@@ -291,8 +292,7 @@ void StorageAffinityScheduler::on_worker_failed(
     WorkerId worker, const std::vector<TaskId>& lost) {
   for (TaskId t : lost) {
     auto& instances = placements_[t.value()];
-    instances.erase(std::remove(instances.begin(), instances.end(), worker),
-                    instances.end());
+    instances.erase_value(worker);
     if (sharded()) sync_replicable(t);  // may drop below max_replicas
     if (!instances.empty() || completed_[t.value()]) continue;
     // Orphaned: push to the least-backlogged live worker (tie: lowest id).
@@ -310,7 +310,7 @@ void StorageAffinityScheduler::on_worker_failed(
     // (Sharded mode parks it in the orphan set so the next idle worker
     // picks it up by lowest id, exactly like the flat orphan scan.)
     if (!target.valid()) {
-      if (sharded()) orphans_.insert(t);
+      if (sharded()) orphans_.insert(t.value());
       continue;
     }
     instances.push_back(target);
@@ -326,11 +326,9 @@ void StorageAffinityScheduler::on_task_completed(TaskId task,
     sync_replicable(task);  // completed: leaves every replica index
     // Trim the inverted index so cache events stop touching this task.
     for (FileId f : engine().job().task(task).files) {
-      auto& vec = tasks_of_file_[f.value()];
-      auto it = std::find(vec.begin(), vec.end(), task);
-      WCS_DCHECK(it != vec.end());
-      *it = vec.back();
-      vec.pop_back();
+      const bool removed = tasks_of_file_.erase_swap(f.value(), task);
+      WCS_DCHECK(removed);
+      (void)removed;
     }
   }
   for (WorkerId w : placements_[task.value()]) {
@@ -398,7 +396,7 @@ void StorageAffinityScheduler::audit_collect(
     // A task completed-and-cleared is not an orphan; one the flat scan
     // would pick up must be in the set.
     if (is_orphan) ++expected_orphans;
-    if (is_orphan != (orphans_.count(t) > 0)) {
+    if (is_orphan != orphans_.contains(t.value())) {
       std::ostringstream os;
       os << "task " << t
          << (is_orphan ? " orphaned but not tracked" : " tracked but placed");

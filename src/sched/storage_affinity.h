@@ -43,10 +43,13 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/csr.h"
+#include "common/dense_id_set.h"
+#include "common/inline_vec.h"
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
 
@@ -91,8 +94,9 @@ class StorageAffinityScheduler final : public Scheduler {
   void audit_collect(std::vector<audit::Violation>& out) const override;
 
   // --- Introspection (tests) -------------------------------------------
-  [[nodiscard]] const std::vector<WorkerId>& placements(TaskId task) const {
-    return placements_.at(task.value());
+  [[nodiscard]] std::span<const WorkerId> placements(TaskId task) const {
+    const auto& v = placements_.at(task.value());
+    return {v.data(), v.size()};
   }
   [[nodiscard]] bool completed(TaskId task) const {
     return completed_.at(task.value()) != 0;
@@ -122,20 +126,23 @@ class StorageAffinityScheduler final : public Scheduler {
   void on_worker_idle_sharded(WorkerId worker);
 
   StorageAffinityParams params_;
-  std::vector<std::vector<WorkerId>> placements_;  // active instances
+  // Active instances per task; two inline slots cover max_replicas = 2
+  // (every paper configuration), larger settings spill.
+  std::vector<common::InlineVec<WorkerId, 2>> placements_;
   std::vector<char> completed_;
   std::vector<std::uint32_t> worker_load_;  // queued+running per worker
   std::uint64_t replications_ = 0;
 
   // Sharded-mode state; untouched (empty) under --flat-index. The
   // inverted index holds INCOMPLETE tasks only (trimmed on completion)
-  // so cache events stop touching finished tasks.
-  std::vector<std::vector<TaskId>> tasks_of_file_;
+  // so cache events stop touching finished tasks; it lives in one CSR
+  // pool (swap-erase on completion is the only mutation).
+  common::Csr<TaskId> tasks_of_file_;
   std::vector<std::vector<Bytes>> cached_bytes_;  // [site][task]
   std::vector<ShardedTaskIndex> replica_index_;   // per site, high-id ties
-  // Incomplete tasks with no live instance, ordered ascending so pickup
-  // matches the flat scan's lowest-id-first order.
-  std::set<TaskId> orphans_;
+  // Incomplete tasks with no live instance, as a bitmap whose
+  // lowest-member query matches the flat scan's lowest-id-first pickup.
+  common::DenseIdSet orphans_;
 };
 
 }  // namespace wcs::sched

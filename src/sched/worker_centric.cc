@@ -49,14 +49,19 @@ void WorkerCentricScheduler::build_index() {
   const std::size_t num_tasks = job.num_tasks();
   const std::size_t num_files = job.catalog.num_files();
 
-  tasks_of_file_.assign(num_files, {});
+  // CSR build: count row widths, finalize, fill in task order — each
+  // row ends up in the same order the old per-file push_back produced.
+  tasks_of_file_.reset(num_files);
   task_size_.assign(num_tasks, 0);
   std::uint32_t max_task_size = 0;
-  for (const workload::Task& t : job.tasks) {
-    for (FileId f : t.files) tasks_of_file_[f.value()].push_back(t.id);
+  for (const workload::Task& t : job.tasks()) {
+    for (FileId f : t.files) tasks_of_file_.count(f.value());
     task_size_[t.id.value()] = static_cast<std::uint32_t>(t.files.size());
     max_task_size = std::max(max_task_size, task_size_[t.id.value()]);
   }
+  tasks_of_file_.finalize();
+  for (const workload::Task& t : job.tasks())
+    for (FileId f : t.files) tasks_of_file_.push(f.value(), t.id);
 
   pending_.assign(num_tasks, 1);
   pending_list_.resize(num_tasks);
@@ -81,7 +86,7 @@ void WorkerCentricScheduler::build_index() {
     const storage::FileCache& cache = engine().site_cache(site);
     for (FileId f : cache.contents()) {
       auto refs = static_cast<std::uint64_t>(cache.ref_count(f));
-      for (TaskId t : tasks_of_file_[f.value()]) {
+      for (TaskId t : tasks_of_file_.row(f.value())) {
         ++idx.overlap[t.value()];
         idx.ref_sum[t.value()] += refs;
       }
@@ -124,7 +129,7 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
     case storage::CacheEvent::kAdded: {
       auto refs = static_cast<std::uint64_t>(
           engine().site_cache(site).ref_count(file));
-      for (TaskId t : tasks_of_file_[file.value()]) {
+      for (TaskId t : tasks_of_file_.row(file.value())) {
         const std::uint32_t missing = missing_of(idx, t);
         WCS_DCHECK(missing > 0);  // the file was not resident before
         --idx.missing_hist[missing];
@@ -139,7 +144,7 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
     case storage::CacheEvent::kEvicted: {
       auto refs = static_cast<std::uint64_t>(
           engine().site_cache(site).ref_count(file));
-      for (TaskId t : tasks_of_file_[file.value()]) {
+      for (TaskId t : tasks_of_file_.row(file.value())) {
         WCS_DCHECK(idx.overlap[t.value()] > 0);
         const std::uint32_t missing = missing_of(idx, t);
         --idx.missing_hist[missing];
@@ -155,7 +160,7 @@ void WorkerCentricScheduler::on_cache_event(SiteId site,
       // r_i was incremented by exactly one while the file is resident.
       // Bucket keys do not depend on reference counts, so only the
       // combined metric (ranked by ref_t) needs a shard re-key.
-      for (TaskId t : tasks_of_file_[file.value()]) {
+      for (TaskId t : tasks_of_file_.row(file.value())) {
         idx.ref_sum[t.value()] += 1;
         idx.total_ref += 1;
         if (shard && params_.metric == Metric::kCombined)
@@ -435,11 +440,9 @@ void WorkerCentricScheduler::remove_pending(TaskId task) {
   }
   // Trim the inverted index so cache events stop touching this task.
   for (FileId f : engine().job().task(task).files) {
-    auto& vec = tasks_of_file_[f.value()];
-    auto it = std::find(vec.begin(), vec.end(), task);
-    WCS_DCHECK(it != vec.end());
-    *it = vec.back();
-    vec.pop_back();
+    const bool removed = tasks_of_file_.erase_swap(f.value(), task);
+    WCS_DCHECK(removed);
+    (void)removed;
   }
 }
 
@@ -478,9 +481,7 @@ bool WorkerCentricScheduler::replicate_for(WorkerId worker) {
     if (instances.size() >= static_cast<std::size_t>(params_.max_replicas))
       continue;
     TaskId t(static_cast<TaskId::underlying_type>(i));
-    if (std::find(instances.begin(), instances.end(), worker) !=
-        instances.end())
-      continue;
+    if (instances.contains(worker)) continue;
     std::size_t missing = 0;
     for (FileId f : job.task(t).files)
       if (!cache.contains(f)) ++missing;
@@ -537,7 +538,7 @@ void WorkerCentricScheduler::re_add_pending(TaskId task) {
       shards_[s].insert(task, shard_key(idx, task), shard_rank(idx, task));
   }
   for (FileId f : job.task(task).files)
-    tasks_of_file_[f.value()].push_back(task);
+    tasks_of_file_.push(f.value(), task);
 
   pending_[task.value()] = 1;
   pending_pos_[task.value()] =
@@ -592,7 +593,7 @@ void WorkerCentricScheduler::audit_collect(
     std::vector<std::uint64_t> ref_sum(task_size_.size(), 0);
     for (FileId f : cache.contents()) {
       const auto refs = static_cast<std::uint64_t>(cache.ref_count(f));
-      for (TaskId t : tasks_of_file_[f.value()]) {
+      for (TaskId t : tasks_of_file_.row(f.value())) {
         ++overlap[t.value()];
         ref_sum[t.value()] += refs;
       }
@@ -651,8 +652,7 @@ void WorkerCentricScheduler::on_worker_failed(
   forget_starving(worker);
   for (TaskId t : lost) {
     auto& instances = placements_[t.value()];
-    instances.erase(std::remove(instances.begin(), instances.end(), worker),
-                    instances.end());
+    instances.erase_value(worker);
     if (instances.empty() && !completed_[t.value()]) re_add_pending(t);
   }
   feed_starving();

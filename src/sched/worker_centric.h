@@ -48,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "common/csr.h"
+#include "common/inline_vec.h"
 #include "common/rng.h"
 #include "sched/scheduler.h"
 #include "sched/sharded_index.h"
@@ -215,14 +217,19 @@ class WorkerCentricScheduler final : public Scheduler {
   // One shard per site, holding exactly the pending bag keyed/ranked by
   // shard_key/shard_rank; empty (and never touched) in flat mode.
   std::vector<ShardedTaskIndex> shards_;
-  std::vector<std::vector<TaskId>> tasks_of_file_;  // inverted index
-  std::vector<std::uint32_t> task_size_;            // |t| per task
+  // Inverted file -> pending-tasks index as one CSR pool (three flat
+  // arrays) instead of a vector-of-vectors: rows support exactly the
+  // mutations the scheduler performs (swap-erase on assignment, bounded
+  // re-push after a crash) without per-file heap blocks.
+  common::Csr<TaskId> tasks_of_file_;
+  std::vector<std::uint32_t> task_size_;  // |t| per task
   std::vector<char> pending_;         // by task id
   std::vector<TaskId> pending_list_;  // dense list for scanning
   std::vector<std::uint32_t> pending_pos_;  // task id -> index in list
   // Replication bookkeeping (kept even when replication is off: the
-  // engine reports completions regardless).
-  std::vector<std::vector<WorkerId>> placements_;  // active instances
+  // engine reports completions regardless). Two inline slots cover every
+  // paper configuration (max_replicas = 2); larger settings spill.
+  std::vector<common::InlineVec<WorkerId, 2>> placements_;
   std::vector<char> completed_;
   // Workers that asked for work while the bag was empty, in ask order
   // (deque: feed_starving pops the front in O(1)).

@@ -27,7 +27,7 @@ class WorkqueueScheduler final : public Scheduler {
   // 0-based — validate_job guarantees it).
   void on_job_submitted() override {
     pending_.clear();
-    for (const workload::Task& t : engine().job().tasks)
+    for (const workload::Task& t : engine().job().tasks())
       pending_.push_back(t.id);
   }
 

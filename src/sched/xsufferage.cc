@@ -14,7 +14,7 @@ void XSufferageScheduler::on_job_submitted() {
 
   tasks_of_file_.assign(job.catalog.num_files(), {});
   task_bytes_.assign(num_tasks, 0);
-  for (const workload::Task& t : job.tasks) {
+  for (const workload::Task& t : job.tasks()) {
     for (FileId f : t.files) {
       tasks_of_file_[f.value()].push_back(t.id);
       task_bytes_[t.id.value()] +=

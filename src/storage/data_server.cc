@@ -1,8 +1,48 @@
 #include "storage/data_server.h"
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_set>
 
 namespace wcs::storage {
+
+DataServer::~DataServer() {
+  if (current_ != nullptr) delete current_;
+  for (Batch* b : queue_) delete b;
+  for (Batch* b : pool_) delete b;
+  for (Batch* head : executing_by_worker_) {
+    while (head != nullptr) {
+      Batch* next = head->next_exec;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+DataServer::Batch* DataServer::alloc_batch() {
+  if (flat() && !pool_.empty()) {
+    Batch* b = pool_.back();
+    pool_.pop_back();
+    return b;
+  }
+  return new Batch();
+}
+
+void DataServer::free_batch(Batch* b) {
+  if (!flat()) {
+    delete b;
+    return;
+  }
+  // Recycle: clear the payload but keep the vectors' capacity, so the
+  // steady-state request/serve/release cycle stops allocating.
+  b->files.clear();
+  b->pinned.clear();
+  b->done = nullptr;
+  b->next_index = 0;
+  b->in_flight = FlowId::invalid();
+  b->next_exec = nullptr;
+  pool_.push_back(b);
+}
 
 void DataServer::request_batch(TaskId task, WorkerId worker,
                                std::span<const FileId> files,
@@ -12,19 +52,20 @@ void DataServer::request_batch(TaskId task, WorkerId worker,
                 "task " << task << " needs " << files.size()
                         << " files but the data server holds only "
                         << cache_.capacity());
-  auto batch = std::make_unique<Batch>();
+  Batch* batch = alloc_batch();
   batch->task = task;
   batch->worker = worker;
   batch->files.assign(files.begin(), files.end());
   batch->done = std::move(done);
   batch->enqueued = sim_.now();
-  queue_.push_back(std::move(batch));
+  batch->service_start = 0;
+  queue_.push_back(batch);
   serve_next();
 }
 
 void DataServer::serve_next() {
-  if (current_ || queue_.empty()) return;
-  current_ = std::move(queue_.front());
+  if (current_ != nullptr || queue_.empty()) return;
+  current_ = queue_.front();
   queue_.pop_front();
   current_->service_start = sim_.now();
   stats_.waiting_s += sim_.now() - current_->enqueued;
@@ -56,13 +97,31 @@ void DataServer::continue_batch() {
   // notify the worker.
   stats_.transfer_s += sim_.now() - b.service_start;
   ++stats_.batches_served;
-  BatchKey key{b.task, b.worker};
-  auto [it, inserted] = executing_pins_.emplace(key, std::move(b.pinned));
-  WCS_CHECK_MSG(inserted, "batch for task " << key.first << " on worker "
-                                            << key.second
-                                            << " completed twice");
-  BatchCallback done = std::move(b.done);
-  current_.reset();
+  Batch* completed = current_;
+  current_ = nullptr;
+  BatchCallback done = std::move(completed->done);
+  if (flat()) {
+    // The batch object itself is the ledger entry: it parks (with its
+    // pins) in the per-worker chain until release().
+    const std::size_t w = completed->worker.value();
+    if (w >= executing_by_worker_.size())
+      executing_by_worker_.resize(w + 1, nullptr);
+    for (Batch* e = executing_by_worker_[w]; e != nullptr; e = e->next_exec)
+      WCS_CHECK_MSG(e->task != completed->task,
+                    "batch for task " << completed->task << " on worker "
+                                      << completed->worker
+                                      << " completed twice");
+    completed->next_exec = executing_by_worker_[w];
+    executing_by_worker_[w] = completed;
+  } else {
+    BatchKey key{completed->task, completed->worker};
+    auto [it, inserted] =
+        executing_pins_.emplace(key, std::move(completed->pinned));
+    WCS_CHECK_MSG(inserted, "batch for task " << key.first << " on worker "
+                                              << key.second
+                                              << " completed twice");
+    free_batch(completed);
+  }
   if (done) done();
   serve_next();
 }
@@ -92,33 +151,85 @@ void DataServer::drop_pins(const std::vector<FileId>& pins) {
 }
 
 bool DataServer::cancel_batch(TaskId task, WorkerId worker) {
-  BatchKey key{task, worker};
-  if (current_ && current_->task == task && current_->worker == worker) {
+  if (current_ != nullptr && current_->task == task &&
+      current_->worker == worker) {
     if (current_->in_flight.valid()) flows_.cancel(current_->in_flight);
     drop_pins(current_->pinned);
     stats_.transfer_s += sim_.now() - current_->service_start;
     ++stats_.batches_cancelled;
-    current_.reset();
+    free_batch(current_);
+    current_ = nullptr;
     serve_next();
     return true;
   }
-  auto it = std::find_if(queue_.begin(), queue_.end(),
-                         [&](const std::unique_ptr<Batch>& b) {
-                           return b->task == task && b->worker == worker;
-                         });
+  auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Batch* b) {
+    return b->task == task && b->worker == worker;
+  });
   if (it == queue_.end()) return false;
+  free_batch(*it);
   queue_.erase(it);
   ++stats_.batches_cancelled;
   return true;
 }
 
 void DataServer::release(TaskId task, WorkerId worker) {
+  if (flat()) {
+    const std::size_t w = worker.value();
+    Batch** link =
+        w < executing_by_worker_.size() ? &executing_by_worker_[w] : nullptr;
+    while (link != nullptr && *link != nullptr && (*link)->task != task)
+      link = &(*link)->next_exec;
+    WCS_CHECK_MSG(link != nullptr && *link != nullptr,
+                  "release of unknown batch: task " << task << " worker "
+                                                    << worker);
+    Batch* b = *link;
+    *link = b->next_exec;
+    drop_pins(b->pinned);
+    free_batch(b);
+    return;
+  }
   auto it = executing_pins_.find(BatchKey{task, worker});
   WCS_CHECK_MSG(it != executing_pins_.end(),
                 "release of unknown batch: task " << task << " worker "
                                                   << worker);
   drop_pins(it->second);
   executing_pins_.erase(it);
+}
+
+std::vector<std::string> DataServer::memory_defects() const {
+  std::vector<std::string> defects;
+  if (!flat()) return defects;
+  std::unordered_set<const Batch*> seen;
+  auto claim = [&](const Batch* b, const char* where) {
+    if (b == nullptr) return;
+    if (!seen.insert(b).second) {
+      std::ostringstream os;
+      os << "batch object aliased into a second ledger (" << where << ")";
+      defects.push_back(os.str());
+    }
+  };
+  claim(current_, "current");
+  for (const Batch* b : queue_) claim(b, "queue");
+  for (const Batch* b : pool_) claim(b, "pool");
+  for (std::size_t w = 0; w < executing_by_worker_.size(); ++w) {
+    for (const Batch* b = executing_by_worker_[w]; b != nullptr;
+         b = b->next_exec) {
+      // claim() also breaks the walk on a chain cycle: the second visit
+      // of an aliased batch is reported once and we stop.
+      if (!seen.insert(b).second) {
+        defects.push_back(
+            "batch object aliased into a second ledger (executing)");
+        break;
+      }
+      if (b->worker.value() != w) {
+        std::ostringstream os;
+        os << "executing batch of worker " << b->worker
+           << " parked in slot " << w;
+        defects.push_back(os.str());
+      }
+    }
+  }
+  return defects;
 }
 
 }  // namespace wcs::storage

@@ -28,7 +28,7 @@ Job generate_coadd(const CoaddParams& p) {
 
   Rng rng(p.seed);
   Job job;
-  job.name = "coadd-" + std::to_string(p.num_tasks);
+  job.set_name("coadd-" + std::to_string(p.num_tasks));
 
   const std::size_t num_rows = std::min(p.num_rows, p.num_tasks);
   const std::size_t pool_size = std::max<std::size_t>(
@@ -136,17 +136,16 @@ Job generate_coadd(const CoaddParams& p) {
 
   // Pass 2: emit tasks round-robin across rows — like the real survey
   // trace, consecutive task ids are NOT spatial neighbours; neighbours in
-  // a stripe are num_rows ids apart.
-  job.tasks.reserve(p.num_tasks);
-  TaskId::underlying_type next_task = 0;
-  for (std::size_t k = 0; next_task < p.num_tasks; ++k) {
-    for (std::size_t row = 0; row < num_rows && next_task < p.num_tasks;
-         ++row) {
+  // a stripe are num_rows ids apart. The per-task file sets stay in
+  // intermediate vectors until the popular picks land, then the whole
+  // bag is CSR-packed into the job in one sweep.
+  std::vector<std::vector<FileId>> task_files;
+  task_files.reserve(p.num_tasks);
+  for (std::size_t k = 0; task_files.size() < p.num_tasks; ++k) {
+    for (std::size_t row = 0;
+         row < num_rows && task_files.size() < p.num_tasks; ++row) {
       if (k >= row_tasks[row].size()) continue;
-      Task t;
-      t.id = TaskId(next_task++);
-      t.files = std::move(row_tasks[row][k]);
-      job.tasks.push_back(std::move(t));
+      task_files.push_back(std::move(row_tasks[row][k]));
     }
   }
 
@@ -154,12 +153,12 @@ Job generate_coadd(const CoaddParams& p) {
   const std::size_t pool_base = next_file;
   if (p.popular_picks_per_task > 0 && pool_size > 0) {
     const ZipfCdf pool_zipf(pool_size, p.popular_zipf_exponent);
-    for (Task& t : job.tasks) {
+    for (std::vector<FileId>& files : task_files) {
       std::unordered_set<std::size_t> picked;
       while (picked.size() < std::min(p.popular_picks_per_task, pool_size)) {
         std::size_t rank = pool_zipf.sample(rng);
         if (picked.insert(rank - 1).second)
-          t.files.push_back(FileId(
+          files.push_back(FileId(
               static_cast<FileId::underlying_type>(pool_base + rank - 1)));
       }
     }
@@ -167,8 +166,12 @@ Job generate_coadd(const CoaddParams& p) {
   }
 
   job.catalog = FileCatalog(next_file, p.file_size);
-  for (Task& t : job.tasks)
-    t.mflop = p.mflop_per_file * static_cast<double>(t.files.size());
+  std::size_t total_refs = 0;
+  for (const auto& files : task_files) total_refs += files.size();
+  job.reserve_tasks(task_files.size(), total_refs);
+  for (const std::vector<FileId>& files : task_files)
+    job.add_task(files,
+                 p.mflop_per_file * static_cast<double>(files.size()));
 
   validate_job(job);
   return job;

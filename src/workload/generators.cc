@@ -9,20 +9,18 @@ namespace wcs::workload {
 
 namespace {
 
-Job make_job(std::string name, const GeneratorParams& p,
+Job make_job(std::string_view name, const GeneratorParams& p,
              std::vector<std::vector<FileId>> file_sets,
              std::size_t catalog_size) {
   Job job;
-  job.name = std::move(name);
+  job.set_name(name);
   job.catalog = FileCatalog(catalog_size, p.file_size);
-  job.tasks.reserve(file_sets.size());
-  for (std::size_t i = 0; i < file_sets.size(); ++i) {
-    Task t;
-    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
-    t.files = std::move(file_sets[i]);
-    t.mflop = p.mflop_per_file * static_cast<double>(t.files.size());
-    job.tasks.push_back(std::move(t));
-  }
+  std::size_t total_refs = 0;
+  for (const auto& files : file_sets) total_refs += files.size();
+  job.reserve_tasks(file_sets.size(), total_refs);
+  for (const std::vector<FileId>& files : file_sets)
+    job.add_task(files,
+                 p.mflop_per_file * static_cast<double>(files.size()));
   validate_job(job);
   return job;
 }
@@ -34,6 +32,7 @@ Job generate_uniform(const GeneratorParams& p) {
   Rng rng(p.seed);
   std::vector<std::vector<FileId>> sets(p.num_tasks);
   for (auto& set : sets) {
+    set.reserve(p.files_per_task);
     std::unordered_set<std::size_t> picked;
     while (picked.size() < p.files_per_task) {
       std::size_t f = rng.index(p.num_files);
@@ -50,6 +49,7 @@ Job generate_zipf(const GeneratorParams& p, double exponent) {
   const ZipfCdf file_zipf(p.num_files, exponent);
   std::vector<std::vector<FileId>> sets(p.num_tasks);
   for (auto& set : sets) {
+    set.reserve(p.files_per_task);
     std::unordered_set<std::size_t> picked;
     while (picked.size() < p.files_per_task) {
       std::size_t f = file_zipf.sample(rng) - 1;

@@ -13,13 +13,13 @@ void save_job(const Job& job, std::ostream& out) {
   // test re-runs the parsed job and expects identical results), so print
   // doubles at full round-trip precision, not the stream default of 6.
   out.precision(std::numeric_limits<double>::max_digits10);
-  out << "job " << (job.name.empty() ? "unnamed" : job.name) << '\n';
+  out << "job " << (job.name().empty() ? "unnamed" : job.name()) << '\n';
   out << "files " << job.catalog.num_files() << '\n';
   for (std::size_t i = 0; i < job.catalog.num_files(); ++i)
     out << "filesize " << i << ' '
         << job.catalog.size(FileId(static_cast<FileId::underlying_type>(i)))
         << '\n';
-  for (const Task& t : job.tasks) {
+  for (const Task& t : job.tasks()) {
     out << "task " << t.id.value() << ' ' << t.mflop;
     for (FileId f : t.files) out << ' ' << f.value();
     out << '\n';
@@ -36,6 +36,14 @@ Job load_job(std::istream& in) {
   Job job;
   std::size_t declared_files = 0;
   std::vector<Bytes> sizes;
+  // Task lines parse into per-id staging slots (the trace may list
+  // tasks in any order); the job is CSR-packed in id order afterwards.
+  struct ParsedTask {
+    bool seen = false;
+    double mflop = 0;
+    std::vector<FileId> files;
+  };
+  std::vector<ParsedTask> parsed;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -43,7 +51,9 @@ Job load_job(std::istream& in) {
     std::string kind;
     ls >> kind;
     if (kind == "job") {
-      ls >> job.name;
+      std::string name;
+      ls >> name;
+      job.set_name(name);
     } else if (kind == "files") {
       ls >> declared_files;
       sizes.assign(declared_files, 0);
@@ -54,14 +64,17 @@ Job load_job(std::istream& in) {
       WCS_CHECK_MSG(idx < sizes.size(), "filesize index out of range");
       sizes[idx] = size;
     } else if (kind == "task") {
-      Task t;
       TaskId::underlying_type id = 0;
-      ls >> id >> t.mflop;
-      t.id = TaskId(id);
+      double mflop = 0;
+      ls >> id >> mflop;
+      if (id >= parsed.size()) parsed.resize(id + 1);
+      ParsedTask& t = parsed[id];
+      WCS_CHECK_MSG(!t.seen, "task " << id << " declared twice");
+      t.seen = true;
+      t.mflop = mflop;
       FileId::underlying_type f = 0;
       while (ls >> f) t.files.push_back(FileId(f));
       WCS_CHECK_MSG(!ls.bad(), "malformed task line");
-      job.tasks.push_back(std::move(t));
     } else {
       WCS_CHECK_MSG(false, "unknown trace directive: " << kind);
     }
@@ -69,6 +82,14 @@ Job load_job(std::istream& in) {
   for (Bytes b : sizes) {
     WCS_CHECK_MSG(b > 0, "file with no declared size");
     job.catalog.add_file(b);
+  }
+  std::size_t total_refs = 0;
+  for (const ParsedTask& t : parsed) total_refs += t.files.size();
+  job.reserve_tasks(parsed.size(), total_refs);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    WCS_CHECK_MSG(parsed[i].seen, "task ids must be dense 0-based (missing "
+                                      << i << ")");
+    job.add_task(parsed[i].files, parsed[i].mflop);
   }
   validate_job(job);
   return job;

@@ -83,14 +83,13 @@ inline workload::Job make_job(
     std::vector<std::vector<unsigned>> file_sets, std::size_t num_files,
     Bytes file_size = 1000000) {
   workload::Job job;
-  job.name = "test";
+  job.set_name("test");
   job.catalog = workload::FileCatalog(num_files, file_size);
-  for (std::size_t i = 0; i < file_sets.size(); ++i) {
-    workload::Task t;
-    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
-    for (unsigned f : file_sets[i]) t.files.push_back(FileId(f));
-    t.mflop = 1.0;
-    job.tasks.push_back(std::move(t));
+  std::vector<FileId> files;
+  for (const std::vector<unsigned>& set : file_sets) {
+    files.clear();
+    for (unsigned f : set) files.push_back(FileId(f));
+    job.add_task(files, 1.0);
   }
   workload::validate_job(job);
   return job;

@@ -308,6 +308,75 @@ TEST(ResultsLedger, DetectsByteDivergence) {
   EXPECT_TRUE(mentions(v, "diverge"));
 }
 
+// --- memory layout ------------------------------------------------------
+
+MemoryLayoutSnapshot healthy_memory() {
+  MemoryLayoutSnapshot s;
+  s.label = "test";
+  s.interner_symbols = 3;
+  ArenaAccounting a;
+  a.label = "flow-table arena";
+  a.total_allocations = 1000;
+  a.live_allocations = 40;
+  a.freelist_hits = 900;
+  a.large_allocations = 4;
+  a.large_live = 1;
+  a.pages = 2;
+  a.page_bytes = 64 * 1024;
+  s.arenas.push_back(a);
+  return s;
+}
+
+TEST(MemoryLayout, HealthySnapshotIsClean) {
+  auto v = run_checker(
+      [](auto& out) { check_memory_layout(healthy_memory(), out); });
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(MemoryLayout, ForwardsInternerDefects) {
+  MemoryLayoutSnapshot s = healthy_memory();
+  s.interner_defects.push_back("interner index entry does not round-trip");
+  auto v = run_checker([&](auto& out) { check_memory_layout(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].checker, "memory-layout");
+  EXPECT_TRUE(mentions(v, "round-trip"));
+}
+
+TEST(MemoryLayout, ForwardsTableDefects) {
+  MemoryLayoutSnapshot s = healthy_memory();
+  s.table_defects.push_back(
+      "batch object aliased into a second ledger (queue)");
+  auto v = run_checker([&](auto& out) { check_memory_layout(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_TRUE(mentions(v, "aliased"));
+}
+
+TEST(MemoryLayout, DetectsLiveExceedingTotal) {
+  MemoryLayoutSnapshot s = healthy_memory();
+  s.arenas[0].live_allocations = s.arenas[0].total_allocations + 1;
+  auto v = run_checker([&](auto& out) { check_memory_layout(s, out); });
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(mentions(v, "live allocations exceed"));
+}
+
+TEST(MemoryLayout, DetectsImpossibleSmallResidency) {
+  MemoryLayoutSnapshot s = healthy_memory();
+  // 40 live small blocks but zero pooled pages: nowhere to live.
+  s.arenas[0].pages = 0;
+  auto v = run_checker([&](auto& out) { check_memory_layout(s, out); });
+  ASSERT_FALSE(v.empty());
+  EXPECT_TRUE(mentions(v, "pooled pages"));
+}
+
+TEST(MemoryLayout, ForwardsArenaStructuralDefects) {
+  MemoryLayoutSnapshot s = healthy_memory();
+  s.arenas[0].defects.push_back(
+      "arena freelist for class 3 holds a block outside the page pool");
+  auto v = run_checker([&](auto& out) { check_memory_layout(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_TRUE(mentions(v, "outside the page pool"));
+}
+
 // --- the auditor itself -------------------------------------------------
 
 TEST(InvariantAuditor, CollectsAcrossCheckers) {
@@ -418,7 +487,7 @@ TEST(AuditIntegration, AuditedRunIsCleanAndSweeps) {
   EXPECT_EQ(r.tasks_completed, 30u);
   ASSERT_NE(sim.auditor(), nullptr);
   EXPECT_GT(sim.auditor()->sweeps(), 2u);
-  EXPECT_EQ(sim.auditor()->num_checkers(), 5u);
+  EXPECT_EQ(sim.auditor()->num_checkers(), 6u);
 }
 
 TEST(AuditIntegration, AuditedResultsAreIdentical) {

@@ -25,14 +25,11 @@ GridConfig exact_config(int sites, int workers_per_site,
 
 workload::Job tiny_job(std::size_t tasks, Bytes file_size = megabytes(25)) {
   workload::Job job;
-  job.name = "tiny";
+  job.set_name("tiny");
   job.catalog = workload::FileCatalog(tasks, file_size);
   for (std::size_t i = 0; i < tasks; ++i) {
-    workload::Task t;
-    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
-    t.files.push_back(FileId(static_cast<FileId::underlying_type>(i)));
-    t.mflop = 1e-6;  // negligible compute: network-only timing
-    job.tasks.push_back(std::move(t));
+    // Negligible compute: network-only timing.
+    job.add_task({FileId(static_cast<FileId::underlying_type>(i))}, 1e-6);
   }
   return job;
 }

@@ -6,6 +6,8 @@
 // dependence breaks it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "grid/experiment.h"
 #include "grid/grid_simulation.h"
 #include "workload/coadd.h"
@@ -84,9 +86,11 @@ TEST(CrossConfigIndependence, WorkloadUnaffectedByPlatformSeed) {
   spec.algorithm = sched::Algorithm::kRest;
   (void)run_once(c, j1, spec, 1);
   auto j2 = workload::generate_coadd(cp);
-  ASSERT_EQ(j1.tasks.size(), j2.tasks.size());
-  for (std::size_t i = 0; i < j1.tasks.size(); ++i)
-    EXPECT_EQ(j1.tasks[i].files, j2.tasks[i].files);
+  ASSERT_EQ(j1.num_tasks(), j2.num_tasks());
+  for (std::size_t i = 0; i < j1.num_tasks(); ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    EXPECT_TRUE(std::ranges::equal(j1.task(id).files, j2.task(id).files));
+  }
 }
 
 }  // namespace

@@ -29,13 +29,9 @@ GridConfig churn_config() {
 
 workload::Job one_task_job(Bytes file_size, double mflop) {
   workload::Job job;
-  job.name = "one";
+  job.set_name("one");
   job.catalog = workload::FileCatalog(1, file_size);
-  workload::Task t;
-  t.id = TaskId(0);
-  t.files.push_back(FileId(0));
-  t.mflop = mflop;
-  job.tasks.push_back(std::move(t));
+  job.add_task({FileId(0)}, mflop);
   return job;
 }
 
@@ -45,8 +41,7 @@ class RetryScheduler : public sched::Scheduler {
  public:
   void on_job_submitted() override {}
   void on_worker_idle(WorkerId worker) override {
-    const auto& tasks = engine().job().tasks;
-    for (const workload::Task& t : tasks) {
+    for (const workload::Task& t : engine().job().tasks()) {
       if (!done_.count(t.id.value())) {
         engine().assign_task(t.id, worker);
         return;

@@ -26,17 +26,16 @@ workload::Job tiny_job(std::size_t tasks, std::size_t files_per_task,
                        Bytes file_size = megabytes(25),
                        double mflop = 1e-6) {
   workload::Job job;
-  job.name = "tiny";
+  job.set_name("tiny");
   job.catalog =
       workload::FileCatalog(tasks * files_per_task, file_size);
+  std::vector<FileId> files;
   for (std::size_t i = 0; i < tasks; ++i) {
-    workload::Task t;
-    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
+    files.clear();
     for (std::size_t f = 0; f < files_per_task; ++f)
-      t.files.push_back(FileId(
+      files.push_back(FileId(
           static_cast<FileId::underlying_type>(i * files_per_task + f)));
-    t.mflop = mflop;  // negligible compute: network-only timing
-    job.tasks.push_back(std::move(t));
+    job.add_task(files, mflop);  // default mflop: network-only timing
   }
   return job;
 }
@@ -67,9 +66,7 @@ TEST(GridTiming, SingleWorkerSequentialTransfers) {
 TEST(GridTiming, CachedSecondTaskSkipsTransfer) {
   // Two tasks over the SAME file: second is a pure cache hit.
   workload::Job job = tiny_job(1, 1);
-  workload::Task t1 = job.tasks[0];
-  t1.id = TaskId(1);
-  job.tasks.push_back(t1);
+  job.add_task({FileId(0)}, 1e-6);  // same file as task 0
   GridConfig c = exact_config(1, 1, 100);
   GridSimulation sim(c, job, sched::make_scheduler(
                                  spec_of(sched::Algorithm::kWorkqueue)));
@@ -90,8 +87,8 @@ TEST(GridTiming, TwoSitesTransferInParallel) {
 }
 
 TEST(Grid, ComputeTimeAddsToMakespan) {
-  auto job = tiny_job(1, 1);
-  job.tasks[0].mflop = 1e9;  // dominates on any top500/100 worker
+  // 1e9 MFLOP dominates on any top500/100 worker.
+  auto job = tiny_job(1, 1, megabytes(25), 1e9);
   GridConfig c = exact_config(1, 1, 100);
   GridSimulation sim(c, job, sched::make_scheduler(
                                  spec_of(sched::Algorithm::kWorkqueue)));
@@ -179,7 +176,7 @@ TEST(Grid, NoEvictionWhenCapacityCoversCatalog) {
   // Without eviction, each site transfers each of its distinct files
   // exactly once: transfers + hits == total file requests.
   std::size_t total_requests = 0;
-  for (const auto& t : job.tasks) total_requests += t.files.size();
+  for (const workload::Task& t : job.tasks()) total_requests += t.files.size();
   EXPECT_EQ(r.total_file_transfers() + r.total_cache_hits(), total_requests);
 }
 

@@ -14,14 +14,12 @@ namespace {
 workload::Job one_task_job(std::size_t files = 2,
                            Bytes file_size = megabytes(25)) {
   workload::Job job;
-  job.name = "one";
+  job.set_name("one");
   job.catalog = workload::FileCatalog(files, file_size);
-  workload::Task t;
-  t.id = TaskId(0);
+  std::vector<FileId> task_files;
   for (std::size_t f = 0; f < files; ++f)
-    t.files.push_back(FileId(static_cast<FileId::underlying_type>(f)));
-  t.mflop = 1e-6;
-  job.tasks.push_back(std::move(t));
+    task_files.push_back(FileId(static_cast<FileId::underlying_type>(f)));
+  job.add_task(task_files, 1e-6);
   return job;
 }
 

@@ -80,7 +80,8 @@ TEST_P(AllSchedulers, InvariantsHoldOnCoaddSlice) {
   // most max|t| files; and every referenced file had to be transferred to
   // some site at least once.
   std::size_t max_files = 0;
-  for (const auto& t : job.tasks) max_files = std::max(max_files, t.files.size());
+  for (const workload::Task& t : job.tasks())
+    max_files = std::max(max_files, t.files.size());
   std::uint64_t total_batches = 0;
   for (const auto& s : r.sites)
     total_batches += s.batches_served + s.batches_cancelled;
@@ -118,17 +119,17 @@ TEST_P(WorkloadRegimes, LocalityAwareBeatsBlindPullWhenSharingExists) {
   // the benches; transfer counts are the robust invariant.)
   auto ordered = workload::generate_sliding_window(
       80, /*width=*/12, /*stride=*/GetParam(), megabytes(5), 1.0);
-  std::vector<std::size_t> perm(ordered.tasks.size());
+  std::vector<std::size_t> perm(ordered.num_tasks());
   for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
   Rng shuffle_rng(99);
   shuffle_rng.shuffle(perm);
   workload::Job job;
-  job.name = "shuffled-window";
+  job.set_name("shuffled-window");
   job.catalog = ordered.catalog;
   for (std::size_t i = 0; i < perm.size(); ++i) {
-    workload::Task t = ordered.tasks[perm[i]];
-    t.id = TaskId(static_cast<TaskId::underlying_type>(i));
-    job.tasks.push_back(std::move(t));
+    const workload::Task t =
+        ordered.task(TaskId(static_cast<TaskId::underlying_type>(perm[i])));
+    job.add_task(t.files, t.mflop);
   }
   GridConfig c;
   c.tiers.num_sites = 3;

@@ -2,6 +2,7 @@
 // test_workload) plus error paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -32,9 +33,11 @@ TEST_F(TraceFileTest, RoundTripThroughDisk) {
   Job a = generate_coadd(p);
   save_job(a, path_.string());
   Job b = load_job(path_.string());
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  for (std::size_t i = 0; i < a.tasks.size(); ++i)
-    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::size_t i = 0; i < a.num_tasks(); ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    EXPECT_TRUE(std::ranges::equal(a.task(id).files, b.task(id).files));
+  }
 }
 
 TEST_F(TraceFileTest, LoadMissingFileThrows) {

@@ -371,7 +371,7 @@ TEST_P(IndexConsistency, IncrementalMatchesNaiveUnderChurn) {
     eng.add_file(site, FileId(static_cast<unsigned>(rng.index(kFiles))));
     if (step % 10 == 0) {
       for (unsigned s = 0; s < 2; ++s)
-        for (const auto& t : job.tasks)
+        for (const workload::Task& t : job.tasks())
           if (sched.is_pending(t.id)) {
             ASSERT_NEAR(sched.weight(SiteId(s), t.id),
                         sched.naive_weight(SiteId(s), t.id), 1e-9)
@@ -380,7 +380,7 @@ TEST_P(IndexConsistency, IncrementalMatchesNaiveUnderChurn) {
     }
     if (step == 150) {
       // Retire a task mid-stream; the index must stay consistent.
-      for (const auto& t : job.tasks)
+      for (const workload::Task& t : job.tasks())
         if (sched.is_pending(t.id)) {
           sched.on_worker_idle(WorkerId(0));
           break;
@@ -405,7 +405,7 @@ std::pair<double, double> naive_totals(const WorkerCentricScheduler& sched,
   const storage::FileCache& cache = eng.site_cache(site);
   double total_ref = 0;
   double total_rest = 0;
-  for (const workload::Task& t : job.tasks) {
+  for (const workload::Task& t : job.tasks()) {
     if (!sched.is_pending(t.id)) continue;
     std::size_t overlap = 0;
     std::uint64_t refs = 0;

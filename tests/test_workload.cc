@@ -2,6 +2,7 @@
 // Figure 3 calibration targets), the generic generators, and trace I/O.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
@@ -37,60 +38,42 @@ TEST(FileCatalog, OutOfRangeThrows) {
 TEST(Job, TaskBytes) {
   Job job;
   job.catalog = FileCatalog(3, megabytes(5));
-  Task t;
-  t.id = TaskId(0);
-  t.files = {FileId(0), FileId(2)};
-  t.mflop = 1;
-  job.tasks.push_back(t);
+  job.add_task({FileId(0), FileId(2)}, 1);
   EXPECT_EQ(job.task_bytes(TaskId(0)), 2 * megabytes(5));
 }
 
 TEST(ValidateJob, RejectsDuplicateFiles) {
   Job job;
   job.catalog = FileCatalog(3, 1);
-  Task t;
-  t.id = TaskId(0);
-  t.files = {FileId(1), FileId(1)};
-  t.mflop = 1;
-  job.tasks.push_back(t);
+  job.add_task({FileId(1), FileId(1)}, 1);
   EXPECT_THROW(validate_job(job), std::logic_error);
 }
 
 TEST(ValidateJob, RejectsUnknownFile) {
   Job job;
   job.catalog = FileCatalog(1, 1);
-  Task t;
-  t.id = TaskId(0);
-  t.files = {FileId(7)};
-  t.mflop = 1;
-  job.tasks.push_back(t);
+  job.add_task({FileId(7)}, 1);
   EXPECT_THROW(validate_job(job), std::logic_error);
 }
 
-TEST(ValidateJob, RejectsNonDenseIds) {
+TEST(ValidateJob, RejectsZeroComputeCost) {
   Job job;
   job.catalog = FileCatalog(1, 1);
-  Task t;
-  t.id = TaskId(5);
-  t.files = {FileId(0)};
-  t.mflop = 1;
-  job.tasks.push_back(t);
+  job.add_task({FileId(0)}, 0.0);
   EXPECT_THROW(validate_job(job), std::logic_error);
 }
 
 TEST(ComputeStats, SmallHandCase) {
   Job job;
   job.catalog = FileCatalog(4, 1);
-  auto add = [&](unsigned id, std::initializer_list<unsigned> files) {
-    Task t;
-    t.id = TaskId(id);
-    for (unsigned f : files) t.files.push_back(FileId(f));
-    t.mflop = 1;
-    job.tasks.push_back(std::move(t));
+  auto add = [&](std::initializer_list<unsigned> files) {
+    std::vector<FileId> f;
+    for (unsigned x : files) f.push_back(FileId(x));
+    job.add_task(f, 1);
   };
-  add(0, {0, 1});
-  add(1, {1, 2, 3});
-  add(2, {1});
+  add({0, 1});
+  add({1, 2, 3});
+  add({1});
   JobStats s = compute_stats(job);
   EXPECT_EQ(s.num_tasks, 3u);
   EXPECT_EQ(s.distinct_files, 4u);
@@ -153,7 +136,7 @@ TEST_F(CoaddPaperScale, PopularTailExists) {
 
 TEST_F(CoaddPaperScale, ComputeCostScalesWithFiles) {
   const Job& j = job();
-  for (const Task& t : j.tasks)
+  for (const Task& t : j.tasks())
     EXPECT_DOUBLE_EQ(t.mflop, 2.0e5 * static_cast<double>(t.files.size()));
 }
 
@@ -166,9 +149,11 @@ TEST(Coadd, DeterministicForSeed) {
   p.num_tasks = 200;
   Job a = generate_coadd(p);
   Job b = generate_coadd(p);
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
-  for (std::size_t i = 0; i < a.tasks.size(); ++i)
-    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (std::size_t i = 0; i < a.num_tasks(); ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    EXPECT_TRUE(std::ranges::equal(a.task(id).files, b.task(id).files));
+  }
 }
 
 TEST(Coadd, SeedChangesLayout) {
@@ -178,8 +163,10 @@ TEST(Coadd, SeedChangesLayout) {
   Job a = generate_coadd(p1);
   Job b = generate_coadd(p2);
   bool any_diff = false;
-  for (std::size_t i = 0; i < a.tasks.size() && !any_diff; ++i)
-    any_diff = a.tasks[i].files != b.tasks[i].files;
+  for (std::size_t i = 0; i < a.num_tasks() && !any_diff; ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    any_diff = !std::ranges::equal(a.task(id).files, b.task(id).files);
+  }
   EXPECT_TRUE(any_diff);
 }
 
@@ -195,8 +182,10 @@ TEST(Coadd, StripeNeighborsOverlapHeavily) {
   double total_fraction = 0;
   const std::size_t kPairs = 50;
   for (std::size_t i = 0; i < kPairs; ++i) {
-    const auto& a = j.tasks[i * 2].files;       // row 0, window k = i
-    const auto& b = j.tasks[i * 2 + 2].files;   // row 0, window k = i+1
+    const auto a = j.task(TaskId(static_cast<TaskId::underlying_type>(
+                              i * 2))).files;      // row 0, window k = i
+    const auto b = j.task(TaskId(static_cast<TaskId::underlying_type>(
+                              i * 2 + 2))).files;  // row 0, window k = i+1
     std::unordered_set<FileId> sa(a.begin(), a.end());
     std::size_t shared = 0;
     for (FileId f : b)
@@ -214,9 +203,9 @@ TEST(Coadd, ConsecutiveIdsAreDifferentStripes) {
   p.popular_picks_per_task = 0;  // isolate the row structure
   Job j = generate_coadd(p);
   // Task 0 (row 0) and task 1 (row 1) live in disjoint file regions.
-  std::unordered_set<FileId> row0(j.tasks[0].files.begin(),
-                                  j.tasks[0].files.end());
-  for (FileId f : j.tasks[1].files) EXPECT_EQ(row0.count(f), 0u);
+  const Task t0 = j.task(TaskId(0));
+  std::unordered_set<FileId> row0(t0.files.begin(), t0.files.end());
+  for (FileId f : j.task(TaskId(1)).files) EXPECT_EQ(row0.count(f), 0u);
 }
 
 TEST(Coadd, ScalesToOtherTaskCounts) {
@@ -244,8 +233,8 @@ TEST(Generators, UniformShapes) {
   p.num_files = 200;
   p.files_per_task = 10;
   Job j = generate_uniform(p);
-  EXPECT_EQ(j.tasks.size(), 50u);
-  for (const Task& t : j.tasks) EXPECT_EQ(t.files.size(), 10u);
+  EXPECT_EQ(j.num_tasks(), 50u);
+  for (const Task& t : j.tasks()) EXPECT_EQ(t.files.size(), 10u);
   EXPECT_NO_THROW(validate_job(j));
 }
 
@@ -274,10 +263,10 @@ TEST(Generators, PartitionedHasZeroSharing) {
 TEST(Generators, SlidingWindowOverlap) {
   Job j = generate_sliding_window(10, 8, 2);
   // task t and t+1 share width - stride = 6 files.
-  std::unordered_set<FileId> a(j.tasks[0].files.begin(),
-                               j.tasks[0].files.end());
+  const Task t0 = j.task(TaskId(0));
+  std::unordered_set<FileId> a(t0.files.begin(), t0.files.end());
   std::size_t shared = 0;
-  for (FileId f : j.tasks[1].files)
+  for (FileId f : j.task(TaskId(1)).files)
     if (a.count(f)) ++shared;
   EXPECT_EQ(shared, 6u);
 }
@@ -298,11 +287,12 @@ TEST(Trace, RoundTripPreservesJob) {
   std::stringstream ss;
   save_job(a, ss);
   Job b = load_job(ss);
-  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
   EXPECT_EQ(a.catalog.num_files(), b.catalog.num_files());
-  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
-    EXPECT_EQ(a.tasks[i].files, b.tasks[i].files);
-    EXPECT_DOUBLE_EQ(a.tasks[i].mflop, b.tasks[i].mflop);
+  for (std::size_t i = 0; i < a.num_tasks(); ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    EXPECT_TRUE(std::ranges::equal(a.task(id).files, b.task(id).files));
+    EXPECT_DOUBLE_EQ(a.task(id).mflop, b.task(id).mflop);
   }
   for (FileId::underlying_type f = 0; f < a.catalog.num_files(); ++f)
     EXPECT_EQ(a.catalog.size(FileId(f)), b.catalog.size(FileId(f)));
@@ -313,10 +303,10 @@ TEST(Trace, IgnoresCommentsAndBlankLines) {
   ss << "# a comment\n\njob tiny\nfiles 2\nfilesize 0 100\nfilesize 1 200\n"
      << "task 0 5.5 0 1\n";
   Job j = load_job(ss);
-  EXPECT_EQ(j.name, "tiny");
-  EXPECT_EQ(j.tasks.size(), 1u);
+  EXPECT_EQ(j.name(), "tiny");
+  EXPECT_EQ(j.num_tasks(), 1u);
   EXPECT_EQ(j.catalog.size(FileId(1)), 200u);
-  EXPECT_DOUBLE_EQ(j.tasks[0].mflop, 5.5);
+  EXPECT_DOUBLE_EQ(j.task(TaskId(0)).mflop, 5.5);
 }
 
 TEST(Trace, RejectsUnknownDirective) {
