@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static wall, part 3: the determinism static-analysis pass.
+#
+#   scripts/check_detlint.sh [--json PATH]
+#
+# Builds tools/detlint and runs it over src/, tests/, bench/, and
+# examples/. Exits non-zero on any unsuppressed finding — the checked-in
+# baseline (tools/detlint/baseline.json) is empty and should stay that
+# way: new findings are fixed, or justified in-line with
+# `// detlint: <rule> -- <reason>`. Rules are documented in DESIGN.md
+# §Invariants & static analysis.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JSON_OUT="${1:-}"
+if [[ "$JSON_OUT" == "--json" ]]; then
+  JSON_OUT="${2:?--json needs a path}"
+elif [[ -n "$JSON_OUT" ]]; then
+  echo "usage: $0 [--json PATH]" >&2
+  exit 2
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target detlint >/dev/null
+
+ARGS=(--baseline tools/detlint/baseline.json)
+if [[ -n "$JSON_OUT" ]]; then
+  mkdir -p "$(dirname "$JSON_OUT")"
+  ARGS+=(--json "$JSON_OUT")
+fi
+build/tools/detlint "${ARGS[@]}" src tests bench examples
+echo "ok — detlint clean (suppressions all carry justifications)"

@@ -25,7 +25,8 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
 fi
 
 # Library sources only: test/bench binaries lean on GTest/benchmark
-# macros that trip readability checks they cannot fix.
+# macros that trip readability checks they cannot fix. Promotion to
+# errors comes from WarningsAsErrors: '*' in .clang-tidy itself.
 mapfile -t SOURCES < <(find src -name '*.cc' | sort)
-"$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' "${SOURCES[@]}"
+"$TIDY" -p "$BUILD_DIR" "${SOURCES[@]}"
 echo "ok — clang-tidy clean over ${#SOURCES[@]} sources"

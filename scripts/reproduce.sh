@@ -31,6 +31,10 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Preflight: the tree must be determinism-lint clean before results are
+# regenerated (scripts/check_detlint.sh; rules in DESIGN.md).
+scripts/check_detlint.sh
+
 mkdir -p results
 for bench in build/bench/bench_*; do
   [[ -x "$bench" && -f "$bench" ]] || continue

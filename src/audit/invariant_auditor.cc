@@ -56,6 +56,7 @@ std::vector<std::string> InvariantAuditor::checker_names() const {
 }
 
 bool default_enabled() {
+  // detlint: nondet-source -- WCS_AUDIT on/off gate, read once at startup; the auditor is read-only and results are byte-identical either way
   if (const char* env = std::getenv("WCS_AUDIT"); env && *env != '\0')
     return *env == '1';
 #ifdef NDEBUG

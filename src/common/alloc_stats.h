@@ -3,9 +3,8 @@
 // alloc_stats.cc replaces the global operator new/delete family with
 // thin counting wrappers around malloc/free. The counters are the
 // measurement backbone for the memory-lean acceptance criteria: the
-// end-to-end benchmark reports allocations-per-event for the flat vs
-// legacy layouts, and tests assert that disabled observability paths
-// are allocation-free.
+// end-to-end benchmark gates on allocations-per-event, and tests
+// assert that disabled observability paths are allocation-free.
 //
 // Counting uses relaxed atomics (a handful of cycles per allocation)
 // and is compiled out under sanitizers (WCS_NO_ALLOC_COUNTING), where

@@ -172,7 +172,7 @@ class NodeArena {
   static constexpr std::size_t kNumClasses = kMaxSmall / kAlign;
 
   struct FreeBlock {
-    FreeBlock* next;
+    FreeBlock* next = nullptr;
   };
 
   static std::size_t size_class(std::size_t bytes) {
@@ -209,7 +209,7 @@ class NodeArena {
     return false;
   }
 
-  std::size_t page_bytes_;
+  std::size_t page_bytes_ = 0;
   std::vector<std::byte*> pages_;
   std::size_t cursor_ = 0;  // next pooled page the bump path will use
   std::byte* bump_ = nullptr;
@@ -247,7 +247,7 @@ class ArenaAlloc {
   }
 
  private:
-  NodeArena* arena_;
+  NodeArena* arena_ = nullptr;
 };
 
 }  // namespace wcs::common

@@ -74,7 +74,7 @@ class CsvWriter {
   }
 
   std::unique_ptr<std::ofstream> file_;
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
   bool header_written_ = false;
   std::size_t num_cols_ = 0;
 };

@@ -68,12 +68,17 @@ class StringInterner {
     std::vector<std::string> defects;
     if (index_.size() != strings_.size())
       defects.push_back("interner index and storage disagree on size");
-    for (const auto& [text, id] : index_) {
-      if (id >= strings_.size()) {
-        defects.push_back("interner index points past storage");
+    // Walk the ordered storage side rather than the hash index so the
+    // defect list comes out in a deterministic order. With the size
+    // check above, "every stored string maps back to its own id" is
+    // equivalent to the full bijection.
+    for (std::size_t id = 0; id < strings_.size(); ++id) {
+      const auto it = index_.find(strings_[id]);
+      if (it == index_.end()) {
+        defects.push_back("interned string missing from index");
         continue;
       }
-      if (strings_[id] != text)
+      if (it->second != id)
         defects.push_back("interner index entry does not round-trip");
     }
     return defects;

@@ -32,6 +32,7 @@ class Logger {
 
  private:
   Logger() {
+    // detlint: nondet-source -- log-level gate, read once; logging is diagnostic output, never simulation state
     if (const char* env = std::getenv("WCS_LOG_LEVEL")) {
       std::string v(env);
       if (v == "error") level_ = LogLevel::kError;

@@ -149,8 +149,8 @@ class Histogram {
   [[nodiscard]] std::size_t count() const { return n_; }
 
  private:
-  double lo_;
-  double hi_;
+  double lo_ = 0;
+  double hi_ = 0;
   std::vector<std::size_t> buckets_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;

@@ -15,7 +15,7 @@ DataPlane::DataPlane(const GridConfig& config, const workload::Job& job,
     servers_.push_back(std::make_unique<storage::DataServer>(
         SiteId(static_cast<SiteId::underlying_type>(s)), sim, *flows_,
         topo_.data_server_nodes[s], topo_.file_server_node, job.catalog,
-        config.capacity_files, config.eviction, config.layout));
+        config.capacity_files, config.eviction));
   }
 
   if (config.replication) {

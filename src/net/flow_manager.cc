@@ -124,10 +124,21 @@ audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
     snap.links.push_back(std::move(usage));
   }
 
+  // Canonical order: flows sorted by id. The snapshot is audit-only,
+  // but defect messages and per-link FP sums should not depend on a
+  // hash table's bucket layout.
+  std::vector<const Flow*> ordered;
+  ordered.reserve(flows_.size());
+  // detlint: unordered-loop -- collect-then-sort: 'ordered' is sorted by flow id below
+  for (const auto& [id, f] : flows_) ordered.push_back(&f);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+
   snap.flows.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) {
+  for (const Flow* fp : ordered) {
+    const Flow& f = *fp;
     audit::FlowProgress p;
-    p.id = id.value();
+    p.id = f.id.value();
     p.total_bytes = f.total;
     p.remaining_bytes = f.remaining;
     p.rate_bps = f.active ? f.rate : 0;
@@ -153,9 +164,23 @@ void FlowManager::reallocate() {
   if (realloc_counter_) realloc_counter_->add();
   const SimTime now = sim_.now();
 
+  // Canonical iteration order for the whole pass: active flows sorted
+  // by id. Hash-map order happens to be deterministic for a fixed
+  // stdlib, but per-link byte settlement (FP sums) and completion-event
+  // scheduling (event-id tie-breaks) should not hang on a rehash
+  // policy. The scratch vector is hoisted, so the steady state stays
+  // allocation-free.
+  std::vector<Flow*>& active = realloc_order_;
+  active.clear();
+  // detlint: unordered-loop -- collect-then-sort: 'active' is sorted by flow id below
+  for (auto& [id, f] : flows_)
+    if (f.active) active.push_back(&f);
+  std::sort(active.begin(), active.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+
   // 1. Settle every active flow's progress at its old rate.
-  for (auto& [id, f] : flows_) {
-    if (!f.active) continue;
+  for (Flow* fp : active) {
+    Flow& f = *fp;
     if (f.rate > 0) {
       double moved = f.rate * (now - f.last_update);
       moved = std::min(moved, f.remaining);
@@ -176,12 +201,7 @@ void FlowManager::reallocate() {
   // (indexed by dense link id), so this loop does not allocate once the
   // scratch has grown to the topology's size.
   std::vector<Flow*>& unfixed = realloc_unfixed_;
-  unfixed.clear();
-  for (auto& [id, f] : flows_)
-    if (f.active) unfixed.push_back(&f);
-  // Deterministic order regardless of hash-map iteration.
-  std::sort(unfixed.begin(), unfixed.end(),
-            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  unfixed.assign(active.begin(), active.end());  // already sorted by id
 
   link_cap_.assign(topo_.num_links(), 0);
   link_crossing_.assign(topo_.num_links(), 0);
@@ -234,17 +254,17 @@ void FlowManager::reallocate() {
     unfixed.resize(kept);
   }
 
-  // 3. Reschedule completion events at the new rates.
-  for (auto& [id, f] : flows_) {
-    if (!f.active) continue;
+  // 3. Reschedule completion events at the new rates, in the same
+  // canonical order (event ids break timestamp ties).
+  for (Flow* fp : active) {
+    Flow& f = *fp;
+    const FlowId fid = f.id;
     if (f.remaining <= kEpsilonBytes) {
-      FlowId fid = id;
       f.pending_event = sim_.schedule_in(0, [this, fid] { complete(fid); });
       f.rate = 0;
       continue;
     }
     WCS_CHECK_MSG(f.rate > 0, "active flow with zero rate");
-    FlowId fid = id;
     f.pending_event =
         sim_.schedule_in(f.remaining / f.rate, [this, fid] { complete(fid); });
   }

@@ -125,9 +125,11 @@ class FlowManager {
   std::vector<double> link_bytes_;
 
   // reallocate() scratch, hoisted so the progressive-filling loop runs
-  // allocation-free: the active-flow worklist plus flat per-link
+  // allocation-free: the canonical (id-sorted) active-flow order, the
+  // worklist consumed by progressive filling, plus flat per-link
   // capacity/crossing tables indexed by dense link id (the previous
   // implementation built two unordered_maps per reallocation).
+  std::vector<Flow*> realloc_order_;
   std::vector<Flow*> realloc_unfixed_;
   std::vector<double> link_cap_;
   std::vector<int> link_crossing_;

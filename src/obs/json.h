@@ -82,7 +82,7 @@ class JsonWriter {
   void newline_indent();
 
   std::ostream& out_;
-  int indent_;
+  int indent_ = 2;
   std::vector<Frame> stack_;
   std::size_t values_at_root_ = 0;
 };

@@ -86,9 +86,9 @@ class FixedHistogram {
   [[nodiscard]] double quantile(double q) const;
 
  private:
-  double lo_;
-  double hi_;
-  double width_;  // (hi - lo) / buckets
+  double lo_ = 0;
+  double hi_ = 0;
+  double width_ = 0;  // (hi - lo) / buckets
   std::vector<std::uint64_t> buckets_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;

@@ -12,8 +12,10 @@ Options Options::all() {
 
 Options Options::from_env() {
   Options o;
+  // detlint: nondet-source -- WCS_OBS run-config gate, read once at startup; instrumentation is read-only
   if (const char* env = std::getenv("WCS_OBS"); env && *env && *env != '0')
     o.metrics = o.profile = true;
+  // detlint: nondet-source -- WCS_TRACE run-config gate, read once at startup; tracing is read-only
   if (const char* env = std::getenv("WCS_TRACE"); env && *env && *env != '0')
     o.trace = true;
   return o;

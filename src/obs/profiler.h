@@ -68,6 +68,7 @@ class ScopedPhase {
  public:
   ScopedPhase(PhaseProfiler* profiler, Phase phase)
       : profiler_(profiler), phase_(phase) {
+    // detlint: nondet-source -- wall-clock phase profiling; measurements never feed back into simulation state
     if (profiler_) start_ = std::chrono::steady_clock::now();
   }
 
@@ -77,14 +78,16 @@ class ScopedPhase {
   ~ScopedPhase() {
     if (!profiler_) return;
     auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start_)
+                  std::chrono::steady_clock::now() -  // detlint: nondet-source -- wall-clock phase profiling; never feeds back into simulation state
+                  start_)
                   .count();
     profiler_->record(phase_, static_cast<std::uint64_t>(ns));
   }
 
  private:
-  PhaseProfiler* profiler_;
-  Phase phase_;
+  PhaseProfiler* profiler_ = nullptr;
+  Phase phase_ = Phase::kEventDispatch;
+  // detlint: nondet-source -- wall-clock profiling state, not simulation state
   std::chrono::steady_clock::time_point start_{};
 };
 

@@ -78,7 +78,7 @@ class EventTracer {
   void write_chrome_trace(const std::string& path) const;
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_ = 0;
   std::size_t next_ = 0;  // overwrite cursor once full
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;

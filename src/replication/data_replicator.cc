@@ -38,7 +38,11 @@ void DataReplicator::stop() {
   if (stopped_) return;
   stopped_ = true;
   if (next_scan_.valid()) sim_.cancel(next_scan_);
-  for (FlowId f : in_flight_) flows_.cancel(f);
+  // Cancel in sorted id order: FlowManager::cancel reallocates the
+  // remaining flows, so the cancellation sequence is observable.
+  std::vector<FlowId> pending(in_flight_.begin(), in_flight_.end());
+  std::sort(pending.begin(), pending.end());
+  for (FlowId f : pending) flows_.cancel(f);
   in_flight_.clear();
 }
 
@@ -72,6 +76,7 @@ void DataReplicator::scan() {
 
   // Hot files first, deterministically.
   std::vector<std::pair<std::size_t, FileId>> hot;
+  // detlint: unordered-loop -- collect-then-sort: 'hot' is canonically sorted by (count, id) before any use
   for (const auto& [file, count] : popularity_) {
     if (count < params_.popularity_threshold) continue;
     if (replicated_.count(file)) continue;

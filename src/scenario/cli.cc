@@ -5,7 +5,6 @@
 #include <iostream>
 #include <string>
 
-#include "common/mem_layout.h"
 #include "scenario/catalog.h"
 #include "scenario/runner.h"
 #include "scenario/spec_json.h"
@@ -23,7 +22,6 @@ struct CliOptions {
   bool list = false;
   bool dump = false;
   bool flat_index = false;  // --flat-index: reference decision path
-  bool legacy_layout = false;  // --legacy-layout: node-based hot structures
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -79,14 +77,11 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
       opt.run.trace_out = next();
     } else if (arg == "--flat-index") {
       opt.flat_index = true;
-    } else if (arg == "--legacy-layout") {
-      opt.legacy_layout = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenario NAME --list-scenarios "
                    "--dump-scenario [NAME]\n         --tasks N --seeds K "
                    "--jobs N --csv PATH --fast --audit\n         --report "
-                   "PATH --no-report --trace-out PATH --flat-index\n"
-                   "         --legacy-layout\n";
+                   "PATH --no-report --trace-out PATH --flat-index\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + arg);
@@ -149,16 +144,6 @@ int scenario_main(const std::string& default_scenario, int argc,
     for (Point& pt : spec.points)
       for (sched::SchedulerSpec& s : pt.schedulers)
         s.options.use_sharded_index = false;
-  }
-
-  // --legacy-layout: run the storage stack on the node-based (pre-PR 6)
-  // containers instead of the flat slotted layout. Totals are
-  // byte-identical either way; the escape hatch exists for A/B memory
-  // benchmarking and will be removed next PR.
-  if (opt.legacy_layout) {
-    spec.base_config.layout = common::MemoryLayout::kLegacy;
-    for (Point& pt : spec.points)
-      pt.config.layout = common::MemoryLayout::kLegacy;
   }
 
   if (opt.dump) {

@@ -22,11 +22,6 @@
 //                     reference scans instead of the sharded pending-task
 //                     index (sched/sharded_index.h); totals are
 //                     byte-identical, only the wall-clock differs
-//   --legacy-layout   run the storage stack on the node-based (pre-flat)
-//                     cache/batch containers instead of the slotted SoA
-//                     layout (common/mem_layout.h); totals are
-//                     byte-identical, only memory/wall-clock differ.
-//                     Kept for one PR as the A/B baseline.
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1

@@ -24,6 +24,7 @@ struct SweepPoint {
 };
 
 double elapsed_s(const RunOptions& options) {
+  // detlint: nondet-source -- run-harness wall-clock timing, reported as metadata only
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        options.started)
       .count();

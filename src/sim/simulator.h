@@ -145,7 +145,7 @@ class Simulator {
   enum class EventState : std::uint8_t { kLive, kCancelled, kFired };
 
   struct Entry {
-    SimTime time;
+    SimTime time = 0;
     EventId id;
     EventCallback cb;
   };

@@ -20,7 +20,7 @@ DataServer::~DataServer() {
 }
 
 DataServer::Batch* DataServer::alloc_batch() {
-  if (flat() && !pool_.empty()) {
+  if (!pool_.empty()) {
     Batch* b = pool_.back();
     pool_.pop_back();
     return b;
@@ -29,10 +29,6 @@ DataServer::Batch* DataServer::alloc_batch() {
 }
 
 void DataServer::free_batch(Batch* b) {
-  if (!flat()) {
-    delete b;
-    return;
-  }
   // Recycle: clear the payload but keep the vectors' capacity, so the
   // steady-state request/serve/release cycle stops allocating.
   b->files.clear();
@@ -100,28 +96,18 @@ void DataServer::continue_batch() {
   Batch* completed = current_;
   current_ = nullptr;
   BatchCallback done = std::move(completed->done);
-  if (flat()) {
-    // The batch object itself is the ledger entry: it parks (with its
-    // pins) in the per-worker chain until release().
-    const std::size_t w = completed->worker.value();
-    if (w >= executing_by_worker_.size())
-      executing_by_worker_.resize(w + 1, nullptr);
-    for (Batch* e = executing_by_worker_[w]; e != nullptr; e = e->next_exec)
-      WCS_CHECK_MSG(e->task != completed->task,
-                    "batch for task " << completed->task << " on worker "
-                                      << completed->worker
-                                      << " completed twice");
-    completed->next_exec = executing_by_worker_[w];
-    executing_by_worker_[w] = completed;
-  } else {
-    BatchKey key{completed->task, completed->worker};
-    auto [it, inserted] =
-        executing_pins_.emplace(key, std::move(completed->pinned));
-    WCS_CHECK_MSG(inserted, "batch for task " << key.first << " on worker "
-                                              << key.second
-                                              << " completed twice");
-    free_batch(completed);
-  }
+  // The batch object itself is the ledger entry: it parks (with its
+  // pins) in the per-worker chain until release().
+  const std::size_t w = completed->worker.value();
+  if (w >= executing_by_worker_.size())
+    executing_by_worker_.resize(w + 1, nullptr);
+  for (Batch* e = executing_by_worker_[w]; e != nullptr; e = e->next_exec)
+    WCS_CHECK_MSG(e->task != completed->task,
+                  "batch for task " << completed->task << " on worker "
+                                    << completed->worker
+                                    << " completed twice");
+  completed->next_exec = executing_by_worker_[w];
+  executing_by_worker_[w] = completed;
   if (done) done();
   serve_next();
 }
@@ -173,32 +159,22 @@ bool DataServer::cancel_batch(TaskId task, WorkerId worker) {
 }
 
 void DataServer::release(TaskId task, WorkerId worker) {
-  if (flat()) {
-    const std::size_t w = worker.value();
-    Batch** link =
-        w < executing_by_worker_.size() ? &executing_by_worker_[w] : nullptr;
-    while (link != nullptr && *link != nullptr && (*link)->task != task)
-      link = &(*link)->next_exec;
-    WCS_CHECK_MSG(link != nullptr && *link != nullptr,
-                  "release of unknown batch: task " << task << " worker "
-                                                    << worker);
-    Batch* b = *link;
-    *link = b->next_exec;
-    drop_pins(b->pinned);
-    free_batch(b);
-    return;
-  }
-  auto it = executing_pins_.find(BatchKey{task, worker});
-  WCS_CHECK_MSG(it != executing_pins_.end(),
+  const std::size_t w = worker.value();
+  Batch** link =
+      w < executing_by_worker_.size() ? &executing_by_worker_[w] : nullptr;
+  while (link != nullptr && *link != nullptr && (*link)->task != task)
+    link = &(*link)->next_exec;
+  WCS_CHECK_MSG(link != nullptr && *link != nullptr,
                 "release of unknown batch: task " << task << " worker "
                                                   << worker);
-  drop_pins(it->second);
-  executing_pins_.erase(it);
+  Batch* b = *link;
+  *link = b->next_exec;
+  drop_pins(b->pinned);
+  free_batch(b);
 }
 
 std::vector<std::string> DataServer::memory_defects() const {
   std::vector<std::string> defects;
-  if (!flat()) return defects;
   std::unordered_set<const Batch*> seen;
   auto claim = [&](const Batch* b, const char* where) {
     if (b == nullptr) return;

@@ -12,25 +12,20 @@
 // (service) time — the two columns of the paper's Table 3 — plus transfer
 // counts and bytes (Figure 5).
 //
-// Memory layout (common::MemoryLayout): in the flat layout batch
-// objects are recycled through a free pool (their file/pin vectors keep
-// their capacity), and the pins of executing tasks stay inside the
+// Batch objects are recycled through a free pool (their file/pin vectors
+// keep their capacity), and the pins of executing tasks stay inside the
 // batch object, indexed by worker id in a flat table — the steady-state
-// request/serve/release cycle performs no heap allocation. The legacy
-// layout allocates every batch and moves its pins into a std::map, as
-// the pre-PR-6 code did.
+// request/serve/release cycle performs no heap allocation.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
-#include "common/mem_layout.h"
 #include "common/units.h"
 #include "net/flow_manager.h"
 #include "sim/simulator.h"
@@ -57,16 +52,14 @@ class DataServer {
   DataServer(SiteId site, sim::Simulator& simulator, net::FlowManager& flows,
              NodeId self_node, NodeId file_server_node,
              const workload::FileCatalog& catalog, std::size_t capacity_files,
-             EvictionPolicy policy,
-             common::MemoryLayout layout = common::MemoryLayout::kFlat)
+             EvictionPolicy policy)
       : site_(site),
         sim_(simulator),
         flows_(flows),
         node_(self_node),
         file_server_node_(file_server_node),
         catalog_(catalog),
-        cache_(capacity_files, policy, layout),
-        layout_(layout) {}
+        cache_(capacity_files, policy) {}
 
   DataServer(const DataServer&) = delete;
   DataServer& operator=(const DataServer&) = delete;
@@ -104,13 +97,12 @@ class DataServer {
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
   [[nodiscard]] bool busy() const { return current_ != nullptr; }
 
-  // Batch-pool accounting (flat layout; audit/bench hook).
+  // Batch-pool accounting (audit/bench hook).
   [[nodiscard]] std::size_t pooled_batches() const { return pool_.size(); }
 
-  // Flat-layout batch-ledger soundness for the memory-layout audit
-  // checker: no batch object may sit in two ledgers at once (queue /
-  // current / executing / pool), and an executing batch must occupy the
-  // slot of its own worker. Always empty in the legacy layout.
+  // Batch-ledger soundness for the memory-layout audit checker: no batch
+  // object may sit in two ledgers at once (queue / current / executing /
+  // pool), and an executing batch must occupy the slot of its own worker.
   [[nodiscard]] std::vector<std::string> memory_defects() const;
 
  private:
@@ -124,14 +116,9 @@ class DataServer {
     std::size_t next_index = 0;      // next file to ensure resident
     std::vector<FileId> pinned;      // pins taken so far
     FlowId in_flight = FlowId::invalid();
-    Batch* next_exec = nullptr;      // flat layout: executing-ledger chain
+    Batch* next_exec = nullptr;      // executing-ledger chain
   };
 
-  using BatchKey = std::pair<TaskId, WorkerId>;
-
-  [[nodiscard]] bool flat() const {
-    return layout_ == common::MemoryLayout::kFlat;
-  }
   Batch* alloc_batch();
   void free_batch(Batch* b);
 
@@ -147,19 +134,15 @@ class DataServer {
   NodeId file_server_node_;
   const workload::FileCatalog& catalog_;
   FileCache cache_;
-  common::MemoryLayout layout_;
   std::deque<Batch*> queue_;
   Batch* current_ = nullptr;
-  // Flat layout: completed batches stay alive (holding their pins) in a
-  // per-worker table until release(); recycled batches wait in pool_.
-  // Each slot chains through Batch::next_exec — a worker normally holds
-  // one executing batch, but the API permits several (task, worker)
-  // batches at once and the legacy map supported that.
+  // Completed batches stay alive (holding their pins) in a per-worker
+  // table until release(); recycled batches wait in pool_. Each slot
+  // chains through Batch::next_exec — a worker normally holds one
+  // executing batch, but the API permits several (task, worker) batches
+  // at once.
   std::vector<Batch*> executing_by_worker_;  // indexed by WorkerId
   std::vector<Batch*> pool_;
-  // Legacy layout: pins held by batches whose task is currently
-  // executing, keyed by (task, worker).
-  std::map<BatchKey, std::vector<FileId>> executing_pins_;
   TransferListener transfer_listener_;
   Stats stats_;
 };

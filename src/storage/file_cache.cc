@@ -43,53 +43,30 @@ void FileCache::unlink(std::uint32_t idx) {
 }
 
 void FileCache::record_access(FileId f) {
-  if (flat()) {
-    WCS_CHECK_MSG(contains(f), "access to absent file " << f);
-    Slot& s = slots_[f.value()];
-    ++s.refs;
-    if (policy_ == EvictionPolicy::kLru) {
-      unlink(f.value());
-      link_back(f.value());
-    }
-    notify(CacheEvent::kAccessed, f);
-    return;
+  WCS_CHECK_MSG(contains(f), "access to absent file " << f);
+  Slot& s = slots_[f.value()];
+  ++s.refs;
+  if (policy_ == EvictionPolicy::kLru) {
+    unlink(f.value());
+    link_back(f.value());
   }
-  auto it = entries_.find(f);
-  WCS_CHECK_MSG(it != entries_.end(), "access to absent file " << f);
-  ++ref_counts_[f];
-  if (policy_ == EvictionPolicy::kLru)
-    order_.splice(order_.end(), order_, it->second.order_it);
   notify(CacheEvent::kAccessed, f);
 }
 
 void FileCache::insert(FileId f) {
   WCS_CHECK_MSG(!contains(f), "file " << f << " already cached");
-  if (flat()) {
-    Slot& s = slot(f);  // may grow the table; keep the reference local
-    while (resident_count_ >= capacity_) evict_one();
-    WCS_DCHECK(s.pins == 0);
-    s.resident = 1;
-    link_back(f.value());
-    ++resident_count_;
-    notify(CacheEvent::kAdded, f);
-    return;
-  }
-  while (entries_.size() >= capacity_) evict_one();
-  Entry e;
-  e.order_it = order_.insert(order_.end(), f);
-  entries_.emplace(f, e);
+  Slot& s = slot(f);  // may grow the table; keep the reference local
+  while (resident_count_ >= capacity_) evict_one();
+  WCS_DCHECK(s.pins == 0);
+  s.resident = 1;
+  link_back(f.value());
+  ++resident_count_;
   notify(CacheEvent::kAdded, f);
 }
 
 bool FileCache::has_insert_room() const {
-  if (flat()) {
-    return resident_count_ < capacity_ ||
-           pinned_resident_count_ < resident_count_;
-  }
-  if (entries_.size() < capacity_) return true;
-  for (const auto& [f, e] : entries_)
-    if (e.pin_count == 0) return true;
-  return false;
+  return resident_count_ < capacity_ ||
+         pinned_resident_count_ < resident_count_;
 }
 
 bool FileCache::try_insert(FileId f) {
@@ -105,38 +82,20 @@ FileId FileCache::pick_victim() const {
     // order, so the victim is independent of scan order. O(n); MinRef
     // is an ablation policy, not a hot default.
     std::size_t best = std::numeric_limits<std::size_t>::max();
-    if (flat()) {
-      for (std::uint32_t i = head_; i != kNullSlot; i = slots_[i].next) {
-        const Slot& s = slots_[i];
-        if (s.pins > 0) continue;
-        FileId f(i);
-        std::size_t r = s.refs;
-        if (r < best || (r == best && (!victim.valid() || f < victim))) {
-          best = r;
-          victim = f;
-        }
-      }
-    } else {
-      for (const auto& [f, e] : entries_) {
-        if (e.pin_count > 0) continue;
-        std::size_t r = ref_count(f);
-        if (r < best || (r == best && (!victim.valid() || f < victim))) {
-          best = r;
-          victim = f;
-        }
-      }
-    }
-  } else if (flat()) {
     for (std::uint32_t i = head_; i != kNullSlot; i = slots_[i].next) {
-      if (slots_[i].pins == 0) {
-        victim = FileId(i);
-        break;
+      const Slot& s = slots_[i];
+      if (s.pins > 0) continue;
+      FileId f(i);
+      std::size_t r = s.refs;
+      if (r < best || (r == best && (!victim.valid() || f < victim))) {
+        best = r;
+        victim = f;
       }
     }
   } else {
-    for (FileId f : order_) {
-      if (entries_.at(f).pin_count == 0) {
-        victim = f;
+    for (std::uint32_t i = head_; i != kNullSlot; i = slots_[i].next) {
+      if (slots_[i].pins == 0) {
+        victim = FileId(i);
         break;
       }
     }
@@ -150,16 +109,10 @@ void FileCache::evict_one() {
   WCS_CHECK_MSG(victim.valid(),
                 "cache full of pinned files (capacity " << capacity_
                 << ") — capacity must cover the concurrent working set");
-  if (flat()) {
-    Slot& s = slots_[victim.value()];
-    unlink(victim.value());
-    s.resident = 0;
-    --resident_count_;
-  } else {
-    auto it = entries_.find(victim);
-    order_.erase(it->second.order_it);
-    entries_.erase(it);
-  }
+  Slot& s = slots_[victim.value()];
+  unlink(victim.value());
+  s.resident = 0;
+  --resident_count_;
   ++evictions_;
   if (tracer_ && now_fn_) {
     obs::TraceSpan span;
@@ -172,162 +125,107 @@ void FileCache::evict_one() {
 }
 
 void FileCache::pin(FileId f) {
-  if (flat()) {
-    WCS_CHECK_MSG(contains(f), "pin of absent file " << f);
-    Slot& s = slots_[f.value()];
-    if (s.pins++ == 0) ++pinned_resident_count_;
-    return;
-  }
-  auto it = entries_.find(f);
-  WCS_CHECK_MSG(it != entries_.end(), "pin of absent file " << f);
-  ++it->second.pin_count;
+  WCS_CHECK_MSG(contains(f), "pin of absent file " << f);
+  Slot& s = slots_[f.value()];
+  if (s.pins++ == 0) ++pinned_resident_count_;
 }
 
 void FileCache::unpin(FileId f) {
-  if (flat()) {
-    WCS_CHECK_MSG(contains(f), "unpin of absent file " << f);
-    Slot& s = slots_[f.value()];
-    WCS_CHECK_MSG(s.pins > 0, "unpin of unpinned file " << f);
-    if (--s.pins == 0) --pinned_resident_count_;
-    return;
-  }
-  auto it = entries_.find(f);
-  WCS_CHECK_MSG(it != entries_.end(), "unpin of absent file " << f);
-  WCS_CHECK_MSG(it->second.pin_count > 0, "unpin of unpinned file " << f);
-  --it->second.pin_count;
+  WCS_CHECK_MSG(contains(f), "unpin of absent file " << f);
+  Slot& s = slots_[f.value()];
+  WCS_CHECK_MSG(s.pins > 0, "unpin of unpinned file " << f);
+  if (--s.pins == 0) --pinned_resident_count_;
 }
 
 bool FileCache::pinned(FileId f) const {
-  if (flat()) {
-    WCS_CHECK_MSG(contains(f), "pinned() on absent file " << f);
-    return slots_[f.value()].pins > 0;
-  }
-  auto it = entries_.find(f);
-  WCS_CHECK_MSG(it != entries_.end(), "pinned() on absent file " << f);
-  return it->second.pin_count > 0;
+  WCS_CHECK_MSG(contains(f), "pinned() on absent file " << f);
+  return slots_[f.value()].pins > 0;
 }
 
 audit::CacheAuditSnapshot FileCache::audit_snapshot(std::string label) const {
   audit::CacheAuditSnapshot snap;
   snap.label = std::move(label);
   snap.capacity = capacity_;
-  if (flat()) {
-    snap.occupancy = resident_count_;
-    // Full recount of the slot table against the incremental counters
-    // and the intrusive eviction order.
-    std::size_t resident = 0;
-    std::size_t pinned_files = 0;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      const Slot& s = slots_[i];
-      if (!s.resident) {
-        if (s.prev != kNullSlot || s.next != kNullSlot || i == head_) {
-          std::ostringstream os;
-          os << "file " << i << " is linked into the eviction order but "
-             << "not resident";
-          snap.structural.push_back(os.str());
-        }
-        if (s.pins != 0) {
-          std::ostringstream os;
-          os << "file " << i << " is pinned but not resident";
-          snap.structural.push_back(os.str());
-        }
-        continue;
-      }
-      ++resident;
-      if (s.pins > 0) {
-        ++snap.pinned;
-        ++pinned_files;
-      }
-    }
-    if (resident != resident_count_) {
-      std::ostringstream os;
-      os << "slot table holds " << resident << " resident files but the "
-         << "cache counts " << resident_count_;
-      snap.structural.push_back(os.str());
-    }
-    if (pinned_files != pinned_resident_count_) {
-      std::ostringstream os;
-      os << "slot table holds " << pinned_files
-         << " pinned files but the cache counts " << pinned_resident_count_;
-      snap.structural.push_back(os.str());
-    }
-    // Walk the eviction order; every resident slot must appear exactly
-    // once and the links must round-trip. Bound the walk so a cycle
-    // cannot hang the auditor.
-    std::size_t walked = 0;
-    std::uint32_t prev = kNullSlot;
-    for (std::uint32_t i = head_; i != kNullSlot; i = slots_[i].next) {
-      if (++walked > resident_count_) {
-        snap.structural.push_back(
-            "eviction order is longer than the resident count (cycle?)");
-        break;
-      }
-      if (!slots_[i].resident) {
+  snap.occupancy = resident_count_;
+  // Full recount of the slot table against the incremental counters
+  // and the intrusive eviction order.
+  std::size_t resident = 0;
+  std::size_t pinned_files = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.resident) {
+      if (s.prev != kNullSlot || s.next != kNullSlot || i == head_) {
         std::ostringstream os;
-        os << "file " << i << " is in the eviction order but not resident";
+        os << "file " << i << " is linked into the eviction order but "
+           << "not resident";
         snap.structural.push_back(os.str());
       }
-      if (slots_[i].prev != prev) {
+      if (s.pins != 0) {
         std::ostringstream os;
-        os << "file " << i << " order position does not round-trip";
+        os << "file " << i << " is pinned but not resident";
         snap.structural.push_back(os.str());
       }
-      prev = i;
-    }
-    if (walked != resident_count_ && snap.structural.empty()) {
-      std::ostringstream os;
-      os << "eviction order holds " << walked << " files but "
-         << resident_count_ << " are resident";
-      snap.structural.push_back(os.str());
-    }
-    if (tail_ != prev) {
-      snap.structural.push_back("eviction order tail does not round-trip");
-    }
-    return snap;
-  }
-
-  snap.occupancy = entries_.size();
-  for (const auto& [f, e] : entries_)
-    if (e.pin_count > 0) ++snap.pinned;
-
-  // Structural soundness of the eviction order: order_ and entries_ must
-  // describe the same resident set, and every entry's stored position
-  // must round-trip (all three policies keep order_ populated; MinRef
-  // merely ignores it when choosing a victim).
-  if (order_.size() != entries_.size()) {
-    std::ostringstream os;
-    os << "eviction order holds " << order_.size() << " files but "
-       << entries_.size() << " are resident";
-    snap.structural.push_back(os.str());
-  }
-  for (auto it = order_.begin(); it != order_.end(); ++it) {
-    auto entry = entries_.find(*it);
-    if (entry == entries_.end()) {
-      std::ostringstream os;
-      os << "file " << *it << " is in the eviction order but not resident";
-      snap.structural.push_back(os.str());
       continue;
     }
-    if (entry->second.order_it != it) {
+    ++resident;
+    if (s.pins > 0) {
+      ++snap.pinned;
+      ++pinned_files;
+    }
+  }
+  if (resident != resident_count_) {
+    std::ostringstream os;
+    os << "slot table holds " << resident << " resident files but the "
+       << "cache counts " << resident_count_;
+    snap.structural.push_back(os.str());
+  }
+  if (pinned_files != pinned_resident_count_) {
+    std::ostringstream os;
+    os << "slot table holds " << pinned_files
+       << " pinned files but the cache counts " << pinned_resident_count_;
+    snap.structural.push_back(os.str());
+  }
+  // Walk the eviction order; every resident slot must appear exactly
+  // once and the links must round-trip. Bound the walk so a cycle
+  // cannot hang the auditor.
+  std::size_t walked = 0;
+  std::uint32_t prev = kNullSlot;
+  for (std::uint32_t i = head_; i != kNullSlot; i = slots_[i].next) {
+    if (++walked > resident_count_) {
+      snap.structural.push_back(
+          "eviction order is longer than the resident count (cycle?)");
+      break;
+    }
+    if (!slots_[i].resident) {
       std::ostringstream os;
-      os << "file " << *it << " order position does not round-trip";
+      os << "file " << i << " is in the eviction order but not resident";
       snap.structural.push_back(os.str());
     }
+    if (slots_[i].prev != prev) {
+      std::ostringstream os;
+      os << "file " << i << " order position does not round-trip";
+      snap.structural.push_back(os.str());
+    }
+    prev = i;
+  }
+  if (walked != resident_count_ && snap.structural.empty()) {
+    std::ostringstream os;
+    os << "eviction order holds " << walked << " files but "
+       << resident_count_ << " are resident";
+    snap.structural.push_back(os.str());
+  }
+  if (tail_ != prev) {
+    snap.structural.push_back("eviction order tail does not round-trip");
   }
   return snap;
 }
 
 std::vector<FileId> FileCache::contents() const {
   std::vector<FileId> out;
-  if (flat()) {
-    out.reserve(resident_count_);
-    for (std::size_t i = 0; i < slots_.size(); ++i)
-      if (slots_[i].resident)
-        out.push_back(FileId(static_cast<FileId::underlying_type>(i)));
-    return out;
-  }
-  out.reserve(entries_.size());
-  for (const auto& [f, e] : entries_) out.push_back(f);
+  out.reserve(resident_count_);
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].resident)
+      out.push_back(FileId(static_cast<FileId::underlying_type>(i)));
   return out;
 }
 

@@ -17,27 +17,21 @@
 // Eviction policies: LRU (default), FIFO, and MinRef (evict the file with
 // the fewest past references) for the eviction-policy ablation bench.
 //
-// Two memory layouts (common::MemoryLayout):
-//   - kFlat (default): one 16-byte slot per file id — residency flag,
-//     pin count, persistent ref count, and intrusive prev/next links
-//     forming the eviction order. Zero allocations per hit/miss/evict.
-//   - kLegacy: the pre-PR-6 reference layout (unordered_map entries +
-//     std::list order + unordered_map ref counts; several node
-//     allocations per miss). Kept for one PR behind --legacy-layout so
-//     the golden suite can prove both layouts make identical choices.
+// Storage layout: one 16-byte slot per file id — residency flag, pin
+// count, persistent ref count, and intrusive prev/next links forming the
+// eviction order. Zero allocations per hit/miss/evict. (The pre-PR-6
+// node-based layout lived behind --legacy-layout for one PR as the A/B
+// baseline and was removed after the flat goldens soaked.)
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "audit/checkers.h"
 #include "common/check.h"
 #include "common/ids.h"
-#include "common/mem_layout.h"
 #include "common/units.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -58,28 +52,23 @@ using CacheListener = std::function<void(CacheEvent, FileId)>;
 
 class FileCache {
  public:
-  FileCache(std::size_t capacity_files, EvictionPolicy policy,
-            common::MemoryLayout layout = common::MemoryLayout::kFlat)
-      : capacity_(capacity_files), policy_(policy), layout_(layout) {
+  FileCache(std::size_t capacity_files, EvictionPolicy policy)
+      : capacity_(capacity_files), policy_(policy) {
     WCS_CHECK(capacity_files > 0);
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const {
-    return flat() ? resident_count_ : entries_.size();
-  }
+  [[nodiscard]] std::size_t size() const { return resident_count_; }
   [[nodiscard]] EvictionPolicy policy() const { return policy_; }
-  [[nodiscard]] common::MemoryLayout layout() const { return layout_; }
 
   [[nodiscard]] bool contains(FileId f) const {
-    if (flat()) return f.value() < slots_.size() && slots_[f.value()].resident;
-    return entries_.find(f) != entries_.end();
+    return f.value() < slots_.size() && slots_[f.value()].resident;
   }
 
-  // Pre-size the slot table for `num_files` distinct file ids (flat
-  // layout only; the table also grows on demand).
+  // Pre-size the slot table for `num_files` distinct file ids (the table
+  // also grows on demand).
   void reserve_files(std::size_t num_files) {
-    if (flat() && num_files > slots_.size()) slots_.resize(num_files);
+    if (num_files > slots_.size()) slots_.resize(num_files);
   }
 
   // Record a task's use of a present file: bumps r_i, refreshes recency.
@@ -108,14 +97,12 @@ class FileCache {
   // Past references r_i of a file at this storage; persists across
   // eviction. Zero for files never seen here.
   [[nodiscard]] std::size_t ref_count(FileId f) const {
-    if (flat()) return f.value() < slots_.size() ? slots_[f.value()].refs : 0;
-    auto it = ref_counts_.find(f);
-    return it == ref_counts_.end() ? 0 : it->second;
+    return f.value() < slots_.size() ? slots_[f.value()].refs : 0;
   }
 
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
-  // Snapshot of resident file ids (unspecified order).
+  // Snapshot of resident file ids (ascending id order).
   [[nodiscard]] std::vector<FileId> contents() const;
 
   // Read-only state snapshot for the invariant auditor: occupancy vs
@@ -143,12 +130,11 @@ class FileCache {
   }
 
  private:
-  // --- flat layout ------------------------------------------------------
   static constexpr std::uint32_t kNullSlot = 0xffffffffu;
 
   // One 16-byte record per file id. prev/next thread the resident slots
   // into the eviction order (head = next candidate); refs persists
-  // across eviction, exactly like the legacy ref_counts_ map.
+  // across eviction.
   struct Slot {
     std::uint32_t prev = kNullSlot;
     std::uint32_t next = kNullSlot;
@@ -158,10 +144,6 @@ class FileCache {
     std::uint8_t unused = 0;
   };
   static_assert(sizeof(Slot) == 16);
-
-  [[nodiscard]] bool flat() const {
-    return layout_ == common::MemoryLayout::kFlat;
-  }
 
   Slot& slot(FileId f) {
     if (f.value() >= slots_.size()) {
@@ -175,35 +157,20 @@ class FileCache {
   void link_back(std::uint32_t idx);
   void unlink(std::uint32_t idx);
 
-  // --- legacy layout ----------------------------------------------------
-  struct Entry {
-    std::list<FileId>::iterator order_it;  // position in order_ (LRU/FIFO)
-    std::uint32_t pin_count = 0;
-  };
-
   void evict_one();
   [[nodiscard]] FileId pick_victim() const;
   void notify(CacheEvent e, FileId f) {
     if (listener_) listener_(e, f);
   }
 
-  std::size_t capacity_;
-  EvictionPolicy policy_;
-  common::MemoryLayout layout_;
+  std::size_t capacity_ = 0;
+  EvictionPolicy policy_ = EvictionPolicy::kLru;
 
-  // Flat state.
   std::vector<Slot> slots_;
   std::uint32_t head_ = kNullSlot;  // next eviction candidate
   std::uint32_t tail_ = kNullSlot;  // most recently inserted/accessed
   std::size_t resident_count_ = 0;
   std::size_t pinned_resident_count_ = 0;  // residents with pins > 0
-
-  // Legacy state. order_: front = next eviction candidate. LRU moves
-  // accessed entries to the back; FIFO never reorders. Unused (empty)
-  // for MinRef.
-  std::list<FileId> order_;
-  std::unordered_map<FileId, Entry> entries_;
-  std::unordered_map<FileId, std::size_t> ref_counts_;
 
   std::uint64_t evictions_ = 0;
   CacheListener listener_;

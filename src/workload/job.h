@@ -117,8 +117,8 @@ class TaskRange {
     }
 
    private:
-    const Job* job_;
-    std::uint32_t i_;
+    const Job* job_ = nullptr;
+    std::uint32_t i_ = 0;
   };
 
   [[nodiscard]] iterator begin() const { return {job_, 0}; }
@@ -128,7 +128,7 @@ class TaskRange {
   [[nodiscard]] Task operator[](std::size_t i) const;
 
  private:
-  const Job* job_;
+  const Job* job_ = nullptr;
 };
 
 struct Job {

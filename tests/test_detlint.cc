@@ -1,0 +1,434 @@
+// detlint fixture + self-test suite. Each rule gets at least one
+// positive, one clean, and one suppressed case over in-memory snippets;
+// malformed suppressions must be rejected (and reported) rather than
+// honored; the JSON report round-trips through the obs parser; and the
+// tree-clean gate lints the real repository sources, which is what
+// makes "the tree stays detlint-clean" a CTest-visible invariant.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+#include "obs/json.h"
+
+namespace wcs::detlint {
+namespace {
+
+std::vector<Finding> lint(const std::string& path, const std::string& src) {
+  Linter l;
+  l.add_file(path, src);
+  return l.run();
+}
+
+std::vector<Finding> unsuppressed(const std::vector<Finding>& fs) {
+  std::vector<Finding> out;
+  for (const auto& f : fs)
+    if (!f.suppressed) out.push_back(f);
+  return out;
+}
+
+std::vector<Finding> with_rule(const std::vector<Finding>& fs,
+                               const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : fs)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+// --- rule: unordered-loop --------------------------------------------------
+
+TEST(DetlintUnorderedLoop, FlagsSideEffectingRangeFor) {
+  const auto fs = lint("src/a.cc", R"cc(
+    void tally(std::unordered_map<int, int>& m, int& total) {
+      for (const auto& [k, v] : m) total += v;
+    }
+  )cc");
+  const auto hits = with_rule(unsuppressed(fs), "unordered-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("'m'"), std::string::npos);
+}
+
+TEST(DetlintUnorderedLoop, FlagsIteratorFormAndAliasedTypes) {
+  const auto fs = lint("src/a.cc", R"cc(
+    using FlowMap = std::unordered_map<int, double>;
+    void drain(FlowMap flows_, std::vector<int>& out) {
+      for (auto it = flows_.begin(); it != flows_.end(); ++it)
+        out.push_back(it->first);
+    }
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "unordered-loop").size(), 1u);
+}
+
+TEST(DetlintUnorderedLoop, CleanForPureExistentialScan) {
+  const auto fs = lint("src/a.cc", R"cc(
+    bool any_positive(const std::unordered_map<int, int>& m) {
+      for (const auto& kv : m)
+        if (kv.second > 0) return true;
+      return false;
+    }
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "unordered-loop").empty());
+}
+
+TEST(DetlintUnorderedLoop, CleanForOrderedContainers) {
+  const auto fs = lint("src/a.cc", R"cc(
+    void tally(std::map<int, int>& m, int& total) {
+      for (const auto& [k, v] : m) total += v;
+    }
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "unordered-loop").empty());
+}
+
+TEST(DetlintUnorderedLoop, SuppressedWithReason) {
+  const auto fs = lint("src/a.cc", R"cc(
+    void collect(std::unordered_map<int, int>& m, std::vector<int>& v) {
+      // detlint: unordered-loop -- collect-then-sort: v is sorted before use
+      for (const auto& [k, val] : m) v.push_back(k);
+    }
+  )cc");
+  const auto hits = with_rule(fs, "unordered-loop");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].suppressed);
+  EXPECT_NE(hits[0].suppress_reason.find("collect-then-sort"),
+            std::string::npos);
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- rule: nondet-source ---------------------------------------------------
+
+TEST(DetlintNondetSource, FlagsRandAndRandomDeviceAndClocks) {
+  const auto fs = lint("src/a.cc", R"cc(
+    int a() { return rand(); }
+    std::mt19937 b() { return std::mt19937(std::random_device{}()); }
+    long c() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+    long d() { return time(nullptr); }
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "nondet-source").size(), 4u);
+}
+
+TEST(DetlintNondetSource, CleanForSimClockAccessors) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Sim { double time() const { return t_; } double t_ = 0; };
+    double now(const Sim& s) { return s.time(); }
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "nondet-source").empty());
+}
+
+TEST(DetlintNondetSource, GetenvAllowedOnlyInCliLayer) {
+  const std::string src = R"cc(
+    const char* v() { return std::getenv("WCS_FOO"); }
+  )cc";
+  EXPECT_EQ(with_rule(lint("src/obs/observability.cc", src), "nondet-source")
+                .size(),
+            1u);
+  EXPECT_TRUE(
+      with_rule(lint("src/scenario/cli.cc", src), "nondet-source").empty());
+}
+
+TEST(DetlintNondetSource, SuppressedWithReason) {
+  const auto fs = lint("src/a.cc", R"cc(
+    // detlint: nondet-source -- wall-clock profiling only, never fed back
+    auto t0 = std::chrono::steady_clock::now();
+  )cc");
+  const auto hits = with_rule(fs, "nondet-source");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].suppressed);
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- rule: ptr-order -------------------------------------------------------
+
+TEST(DetlintPtrOrder, FlagsPointerKeyedOrderedMap) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Flow;
+    std::map<Flow*, int> by_ptr;
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "ptr-order").size(), 1u);
+}
+
+TEST(DetlintPtrOrder, FlagsDefaultComparatorSortOfPointers) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Flow;
+    void order(std::vector<Flow*>& v) { std::sort(v.begin(), v.end()); }
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "ptr-order").size(), 1u);
+}
+
+TEST(DetlintPtrOrder, FlagsHashOfPointerAndUintptrCast) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Flow;
+    std::size_t h(Flow* f) { return std::hash<Flow*>{}(f); }
+    std::size_t addr(Flow* f) { return reinterpret_cast<std::uintptr_t>(f); }
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "ptr-order").size(), 2u);
+}
+
+TEST(DetlintPtrOrder, CleanWhenComparatorDereferences) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Flow { int id; };
+    void order(std::vector<Flow*>& v) {
+      std::sort(v.begin(), v.end(),
+                [](const Flow* a, const Flow* b) { return a->id < b->id; });
+    }
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "ptr-order").empty());
+}
+
+TEST(DetlintPtrOrder, SuppressedWithReason) {
+  const auto fs = lint("src/a.cc", R"cc(
+    struct Flow;
+    // detlint: ptr-order -- membership-only set, iteration never observed
+    std::map<Flow*, int> by_ptr;
+  )cc");
+  const auto hits = with_rule(fs, "ptr-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].suppressed);
+}
+
+// --- rule: float-accum -----------------------------------------------------
+
+TEST(DetlintFloatAccum, FlagsFloatCompoundAddInUnorderedLoop) {
+  const auto fs = lint("src/a.cc", R"cc(
+    double sum(const std::unordered_map<int, double>& rates) {
+      double total = 0;
+      for (const auto& [id, r] : rates) total += r;
+      return total;
+    }
+  )cc");
+  const auto hits = with_rule(unsuppressed(fs), "float-accum");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("'total'"), std::string::npos);
+}
+
+TEST(DetlintFloatAccum, FlagsAccumulateOverUnordered) {
+  const auto fs = lint("src/a.cc", R"cc(
+    double sum(const std::unordered_set<double>& xs) {
+      return std::accumulate(xs.begin(), xs.end(), 0.0);
+    }
+  )cc");
+  EXPECT_EQ(with_rule(unsuppressed(fs), "float-accum").size(), 1u);
+}
+
+TEST(DetlintFloatAccum, CleanOverOrderedContainerOrIntSums) {
+  const auto fs = lint("src/a.cc", R"cc(
+    double sum_map(const std::map<int, double>& by_key) {
+      double total = 0;
+      for (const auto& [k, v] : by_key) total += v;
+      return total;
+    }
+    int count(const std::unordered_map<int, int>& m) {
+      int n = 0;
+      // detlint: unordered-loop -- fixture: integer count is order-independent
+      for (const auto& [k, v] : m) n += v;
+      return n;
+    }
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "float-accum").empty());
+}
+
+TEST(DetlintFloatAccum, SuppressedWithReason) {
+  const auto fs = lint("src/a.cc", R"cc(
+    double sum(const std::unordered_map<int, double>& rates) {
+      double total = 0;
+      // detlint: float-accum,unordered-loop -- fixture: compared with tolerance downstream
+      for (const auto& [id, r] : rates) total += r;
+      return total;
+    }
+  )cc");
+  EXPECT_EQ(with_rule(fs, "float-accum").size(), 1u);
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- rule: uninit-field ----------------------------------------------------
+
+TEST(DetlintUninitField, FlagsBareArithEnumAndPointerFields) {
+  const auto fs = lint("src/x/widget.h", R"cc(
+    enum class Mode { kFast, kSlow };
+    struct Widget {
+      int count;
+      double ratio;
+      Widget* next;
+      Mode mode;
+      std::string name;   // class type: default ctor is fine
+      int ready = 0;      // initialized: fine
+      std::uint32_t slots{0};  // brace-init: fine
+    };
+  )cc");
+  const auto hits = with_rule(unsuppressed(fs), "uninit-field");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_NE(hits[0].message.find("'count'"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("'ratio'"), std::string::npos);
+  EXPECT_NE(hits[2].message.find("'next'"), std::string::npos);
+  EXPECT_NE(hits[3].message.find("'mode'"), std::string::npos);
+}
+
+TEST(DetlintUninitField, ScopedToSrcHeadersOnly) {
+  const std::string src = "struct W { int count; };\n";
+  EXPECT_EQ(with_rule(lint("src/w.h", src), "uninit-field").size(), 1u);
+  EXPECT_TRUE(with_rule(lint("src/w.cc", src), "uninit-field").empty());
+  EXPECT_TRUE(with_rule(lint("tests/w.h", src), "uninit-field").empty());
+}
+
+TEST(DetlintUninitField, CleanForInitializedAndNonTrivialFields) {
+  const auto fs = lint("src/w.h", R"cc(
+    struct Clean {
+      int count = 0;
+      double ratio{1.0};
+      std::vector<int> xs;
+      std::function<void(int)> cb;
+      static constexpr int kMax = 4;
+      void run();
+      int helper() const { return count; }
+    };
+  )cc");
+  EXPECT_TRUE(with_rule(fs, "uninit-field").empty());
+}
+
+TEST(DetlintUninitField, SuppressedWithReason) {
+  const auto fs = lint("src/w.h", R"cc(
+    struct Raw {
+      int fd;  // detlint: uninit-field -- fixture: always set by open()
+    };
+  )cc");
+  const auto hits = with_rule(fs, "uninit-field");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].suppressed);
+}
+
+// --- suppression grammar ---------------------------------------------------
+
+TEST(DetlintSuppression, MissingReasonIsRejectedAndReported) {
+  const auto fs = lint("src/a.cc", R"cc(
+    // detlint: nondet-source
+    auto t0 = std::chrono::steady_clock::now();
+  )cc");
+  // The malformed directive is itself a finding...
+  EXPECT_EQ(with_rule(fs, "bad-suppression").size(), 1u);
+  // ...and it does NOT suppress the underlying finding.
+  const auto nondet = with_rule(fs, "nondet-source");
+  ASSERT_EQ(nondet.size(), 1u);
+  EXPECT_FALSE(nondet[0].suppressed);
+}
+
+TEST(DetlintSuppression, EmptyReasonAndUnknownRuleAreRejected) {
+  const auto fs = lint("src/a.cc", R"cc(
+    int a = 0;  // detlint: unordered-loop --
+    int b = 0;  // detlint: not-a-rule -- some reason
+  )cc");
+  EXPECT_EQ(with_rule(fs, "bad-suppression").size(), 2u);
+}
+
+TEST(DetlintSuppression, OnlyNamedRuleIsSuppressed) {
+  const auto fs = lint("src/a.cc", R"cc(
+    double sum(const std::unordered_map<int, double>& rates) {
+      double total = 0;
+      // detlint: unordered-loop -- fixture: only the loop rule is justified
+      for (const auto& [id, r] : rates) total += r;
+      return total;
+    }
+  )cc");
+  // float-accum still fires unsuppressed; unordered-loop is covered.
+  EXPECT_TRUE(with_rule(unsuppressed(fs), "unordered-loop").empty());
+  EXPECT_EQ(with_rule(unsuppressed(fs), "float-accum").size(), 1u);
+}
+
+// --- JSON report -----------------------------------------------------------
+
+TEST(DetlintReport, JsonMatchesSchemaViaObsParser) {
+  const auto fs = lint("src/a.cc", R"cc(
+    int a() { return rand(); }
+    // detlint: nondet-source -- fixture: suppressed entry for the report
+    auto t0 = std::chrono::steady_clock::now();
+  )cc");
+  const std::string json = report_json(fs, /*files_scanned=*/1);
+  const obs::JsonValue doc = obs::parse_json(json);
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("tool")->string, "detlint");
+  EXPECT_EQ(doc.find("schema_version")->number, 1);
+  EXPECT_EQ(doc.find("files_scanned")->number, 1);
+
+  const obs::JsonValue* counts = doc.find("counts");
+  ASSERT_TRUE(counts != nullptr && counts->is_object());
+  EXPECT_EQ(counts->find("unsuppressed")->number, 1);
+  EXPECT_EQ(counts->find("suppressed")->number, 1);
+
+  const obs::JsonValue* rules_arr = doc.find("rules");
+  ASSERT_TRUE(rules_arr != nullptr && rules_arr->is_array());
+  EXPECT_EQ(rules_arr->array.size(), rules().size());
+  for (const auto& r : rules_arr->array) {
+    EXPECT_TRUE(r.has("id"));
+    EXPECT_TRUE(r.has("summary"));
+  }
+
+  const obs::JsonValue* findings = doc.find("findings");
+  ASSERT_TRUE(findings != nullptr && findings->is_array());
+  ASSERT_EQ(findings->array.size(), 1u);
+  for (const char* key : {"rule", "file", "line", "message", "snippet"})
+    EXPECT_TRUE(findings->array[0].has(key)) << key;
+
+  const obs::JsonValue* sup = doc.find("suppressed");
+  ASSERT_TRUE(sup != nullptr && sup->is_array());
+  ASSERT_EQ(sup->array.size(), 1u);
+  EXPECT_TRUE(sup->array[0].has("reason"));
+}
+
+TEST(DetlintReport, BaselineRoundTripsAndRejectsMalformed) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "detlint_test";
+  fs::create_directories(dir);
+
+  const fs::path good = dir / "baseline.json";
+  std::ofstream(good) << R"({"findings": [{"rule": "ptr-order",
+                             "file": "src/a.cc"}]})";
+  const auto set = load_baseline(good.string());
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.count({"ptr-order", "src/a.cc"}) != 0);
+
+  const fs::path bad = dir / "bad.json";
+  std::ofstream(bad) << R"({"findings": [{"rule": 7}]})";
+  EXPECT_THROW((void)load_baseline(bad.string()), std::runtime_error);
+}
+
+// --- the tree-clean self-test ----------------------------------------------
+
+TEST(DetlintSelfTest, RepositoryTreeIsClean) {
+  namespace fs = std::filesystem;
+  const fs::path root = WCS_SOURCE_DIR;
+  Linter linter;
+  std::size_t files = 0;
+  for (const char* dir : {"src", "tests", "bench", "examples"}) {
+    for (const auto& e : fs::recursive_directory_iterator(root / dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      ASSERT_TRUE(linter.add_file_from_disk(e.path().string()))
+          << e.path().string();
+      ++files;
+    }
+  }
+  ASSERT_GT(files, 100u);  // sanity: the walk found the real tree
+
+  std::string offenders;
+  std::size_t count = 0;
+  for (const auto& f : linter.run()) {
+    if (f.suppressed) {
+      // Every suppression must carry a justification.
+      EXPECT_FALSE(f.suppress_reason.empty()) << f.file << ":" << f.line;
+      continue;
+    }
+    ++count;
+    offenders += "\n  " + f.file + ":" + std::to_string(f.line) + " [" +
+                 f.rule + "] " + f.message;
+  }
+  EXPECT_EQ(count, 0u) << "unsuppressed detlint findings:" << offenders
+                       << "\n(fix them or add '// detlint: <rule> -- "
+                          "<reason>' with a real justification)";
+}
+
+}  // namespace
+}  // namespace wcs::detlint

@@ -33,9 +33,7 @@ constexpr Golden kGolden[] = {
     {"combined.2", 175261.69922984971, 7764u, 194100000000},
 };
 
-metrics::RunResult run_golden_scenario(
-    const sched::SchedulerSpec& spec,
-    common::MemoryLayout layout = common::MemoryLayout::kFlat) {
+metrics::RunResult run_golden_scenario(const sched::SchedulerSpec& spec) {
   workload::CoaddParams cp;
   cp.num_tasks = 500;
   cp.seed = 20260805;
@@ -45,7 +43,6 @@ metrics::RunResult run_golden_scenario(
   c.tiers.num_sites = 5;
   c.tiers.workers_per_site = 5;
   c.capacity_files = 3000;  // tight enough to exercise eviction
-  c.layout = layout;
   return run_once(c, job, spec, /*seed=*/7);
 }
 
@@ -80,24 +77,6 @@ TEST(GoldenRun, FlatIndexReproducesGoldensExactly) {
     specs[i].options.use_sharded_index = false;
     const auto r = run_golden_scenario(specs[i]);
     SCOPED_TRACE(specs[i].name() + " (flat index)");
-    EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
-    EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
-    EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);
-  }
-}
-
-TEST(GoldenRun, LegacyLayoutReproducesGoldensExactly) {
-  // The memory layout is a pure storage-representation switch: the
-  // node-based (pre-flat) cache/batch containers and the slotted SoA
-  // layout must make IDENTICAL decisions for all six schedulers. This
-  // is the acceptance gate for --legacy-layout (kept one PR as the A/B
-  // baseline).
-  auto specs = sched::SchedulerSpec::paper_algorithms();
-  ASSERT_EQ(specs.size(), std::size(kGolden));
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto r =
-        run_golden_scenario(specs[i], common::MemoryLayout::kLegacy);
-    SCOPED_TRACE(specs[i].name() + " (legacy layout)");
     EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
     EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
     EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);

@@ -1,0 +1,1218 @@
+#include "detlint/detlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/json.h"
+
+// Implementation notes.
+//
+// detlint is a lexer, not a compiler: it strips comments, strings, and
+// preprocessor directives, tokenizes what is left, and pattern-matches
+// declarations and statements. That makes it fast, dependency-free, and
+// wrong in corner cases — which is fine, because every rule errs toward
+// a finding and findings can be suppressed with a justification.
+//
+// Two-phase: add_file() only stores content; run() first collects
+// declarations from every file (type aliases like `using FlowMap =
+// std::unordered_map<...>`, member names like `flows_`), then scans.
+// Member-style names (trailing '_', or declared in headers) are shared
+// across files so a loop in flow_manager.cc over a member declared in
+// flow_manager.h still resolves; short local names stay file-local to
+// keep name collisions from flooding other files.
+//
+// detlint dogfoods its own rules: the implementation uses only ordered
+// containers (std::map/std::set/std::vector), so linting tools/ is
+// clean by construction.
+
+namespace wcs::detlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rules registry.
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"bad-suppression",
+       "malformed `// detlint:` directive (unknown rule or missing "
+       "`-- <reason>`); justifications are mandatory"},
+      {"float-accum",
+       "float/double accumulation (+=, std::accumulate) inside a loop "
+       "over an unordered container: summation order follows hash order"},
+      {"nondet-source",
+       "nondeterminism source: rand()/std::random_device, wall clocks "
+       "(steady/system/high_resolution_clock, time()), getenv outside "
+       "the CLI layer"},
+      {"ptr-order",
+       "ordering derived from addresses: std::hash<T*>, pointer-keyed "
+       "ordered map/set, sorting pointer containers by value, "
+       "reinterpret_cast to uintptr_t"},
+      {"uninit-field",
+       "arithmetic/enum/pointer field in a src/ header without a "
+       "default initializer"},
+      {"unordered-loop",
+       "loop over std::unordered_{map,set} with side effects in the "
+       "body: hash-table iteration order is not a contract"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 0: cleaning. Strips comments, string/char literals, and
+// preprocessor directives (replacing them with spaces so offsets and
+// line numbers survive), and harvests `// detlint:` directives.
+
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool standalone = false;  // comment-only line: applies to next code line
+};
+
+struct CleanResult {
+  std::string text;                       // content with non-code blanked
+  std::vector<Suppression> suppressions;  // well-formed directives
+  std::vector<Finding> bad_directives;    // malformed ones (findings)
+  std::vector<bool> line_has_code;        // 1-based; [0] unused
+};
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Parses one line-comment body. Returns true if it was a detlint
+// directive (well- or mal-formed).
+bool parse_directive(const std::string& comment, int line, bool standalone,
+                     const std::string& path, CleanResult& out) {
+  const std::string body = trim(comment);
+  constexpr std::string_view kTag = "detlint:";
+  if (body.substr(0, kTag.size()) != kTag) return false;
+
+  const std::string rest = trim(body.substr(kTag.size()));
+  const std::size_t dash = rest.find("--");
+  std::string rules_part = dash == std::string::npos ? rest : rest.substr(0, dash);
+  std::string reason = dash == std::string::npos ? "" : trim(rest.substr(dash + 2));
+
+  std::vector<std::string> rule_ids;
+  std::string bad_rule;
+  std::stringstream ss(rules_part);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    if (!is_known_rule(item) || item == "bad-suppression") bad_rule = item;
+    rule_ids.push_back(item);
+  }
+
+  std::string problem;
+  if (rule_ids.empty()) {
+    problem = "no rule named";
+  } else if (!bad_rule.empty()) {
+    problem = "unknown rule '" + bad_rule + "'";
+  } else if (dash == std::string::npos) {
+    problem = "missing '-- <reason>'";
+  } else if (reason.empty()) {
+    problem = "empty reason after '--'";
+  }
+
+  if (!problem.empty()) {
+    Finding f;
+    f.rule = "bad-suppression";
+    f.file = path;
+    f.line = line;
+    f.message = "malformed detlint directive (" + problem +
+                "); expected '// detlint: <rule>[,<rule>] -- <reason>'";
+    f.snippet = "// " + body;
+    out.bad_directives.push_back(std::move(f));
+    return true;
+  }
+  out.suppressions.push_back({line, std::move(rule_ids), std::move(reason),
+                              standalone});
+  return true;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+CleanResult clean_source(const std::string& path, const std::string& src) {
+  CleanResult out;
+  out.text.assign(src.size(), ' ');
+  // Worst case one line per char; +2 for 1-based indexing and a final
+  // line without a trailing newline.
+  out.line_has_code.assign(std::count(src.begin(), src.end(), '\n') + 2, false);
+
+  int line = 1;
+  bool line_code = false;  // any code char emitted on this line yet?
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto newline = [&](std::size_t at) {
+    out.text[at] = '\n';
+    out.line_has_code[static_cast<std::size_t>(line)] = line_code;
+    ++line;
+    line_code = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: blank the whole logical line (honoring
+    // backslash continuations). Macro bodies are not code we scan.
+    if (c == '#' && !line_code) {
+      while (i < n) {
+        if (src[i] == '\n') {
+          if (i > 0 && src[i - 1] == '\\') {
+            newline(i);
+            ++i;
+            continue;
+          }
+          break;  // directive ends; the '\n' is handled by the main loop
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment (and possibly a detlint directive).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const bool standalone = !line_code;
+      std::size_t e = i + 2;
+      while (e < n && src[e] != '\n') ++e;
+      parse_directive(src.substr(i + 2, e - i - 2), line, standalone, path,
+                      out);
+      i = e;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline(i);
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim" (with optional u8/u/U/L
+    // prefix, already emitted — blank the R back out).
+    if (c == '"' && i > 0 && src[i - 1] == 'R' &&
+        (i < 2 || !ident_char(src[i - 2]) ||
+         std::string_view("uUL8").find(src[i - 2]) != std::string_view::npos)) {
+      out.text[i - 1] = ' ';
+      std::size_t d = i + 1;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim = ")" + src.substr(i + 1, d - i - 1) + "\"";
+      std::size_t e = src.find(delim, d);
+      e = (e == std::string::npos) ? n : e + delim.size();
+      for (std::size_t k = i; k < e; ++k)
+        if (src[k] == '\n') newline(k);
+      i = e;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      std::size_t e = i + 1;
+      while (e < n && src[e] != '"') {
+        if (src[e] == '\\' && e + 1 < n) ++e;
+        ++e;
+      }
+      i = (e < n) ? e + 1 : n;
+      line_code = true;  // a literal is still code on this line
+      continue;
+    }
+    // Char literal — but a ' directly after an identifier/digit char is
+    // a C++14 digit separator (1'000'000), which stays in the code.
+    if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+      std::size_t e = i + 1;
+      while (e < n && src[e] != '\'') {
+        if (src[e] == '\\' && e + 1 < n) ++e;
+        ++e;
+      }
+      i = (e < n) ? e + 1 : n;
+      line_code = true;
+      continue;
+    }
+    out.text[i] = c;
+    if (!std::isspace(static_cast<unsigned char>(c))) line_code = true;
+    ++i;
+  }
+  out.line_has_code[static_cast<std::size_t>(line)] = line_code;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: tokenization of the cleaned text.
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Token> tokenize(const std::string& clean) {
+  // Longest-match-first multi-char operators. << and >> are split into
+  // single '<'/'>' so template-argument matching stays simple.
+  static const std::vector<std::string> kMulti = {
+      "<<=", ">>=", "...", "->", "::", "++", "--", "+=", "-=", "*=",
+      "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=", "&&",
+      "||"};
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = clean.size();
+  while (i < n) {
+    const char c = clean[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t e = i + 1;
+      while (e < n && ident_char(clean[e])) ++e;
+      toks.push_back({Token::Kind::kIdent, clean.substr(i, e - i), line});
+      i = e;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = i + 1;
+      while (e < n &&
+             (ident_char(clean[e]) || clean[e] == '.' || clean[e] == '\'' ||
+              ((clean[e] == '+' || clean[e] == '-') &&
+               std::string_view("eEpP").find(clean[e - 1]) !=
+                   std::string_view::npos)))
+        ++e;
+      toks.push_back({Token::Kind::kNumber, clean.substr(i, e - i), line});
+      i = e;
+      continue;
+    }
+    bool matched = false;
+    for (const auto& op : kMulti) {
+      if (clean.compare(i, op.size(), op) == 0) {
+        toks.push_back({Token::Kind::kPunct, op, line});
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      toks.push_back({Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+
+const std::string kEmpty;
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() ? t[i].text : kEmpty;
+}
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdent;
+}
+
+// tokens[i] must be "<". Returns the index just past the matching ">",
+// or i + 1 if this does not look like a template argument list.
+std::size_t match_template(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  std::size_t j = i;
+  for (; j < t.size(); ++j) {
+    const std::string& s = t[j].text;
+    if (s == "<") ++depth;
+    else if (s == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (s == ";" || s == "{" || s == "}") {
+      break;  // ran off the declaration: not a template list
+    }
+  }
+  return i + 1;
+}
+
+// Index just past the ")" matching tokens[i] == "(".
+std::size_t match_paren(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == "(") ++depth;
+    else if (t[j].text == ")" && --depth == 0) return j + 1;
+  }
+  return t.size();
+}
+
+// Index just past the "}" matching tokens[i] == "{".
+std::size_t match_brace(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == "{") ++depth;
+    else if (t[j].text == "}" && --depth == 0) return j + 1;
+  }
+  return t.size();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: declaration collection.
+
+struct Symbols {
+  std::set<std::string> unordered_aliases;  // using FlowMap = unordered_map<..>
+  std::set<std::string> float_aliases;      // using SimTime = double
+  std::set<std::string> arith_aliases;      // using Bytes = uint64_t
+  std::set<std::string> enums;
+  std::set<std::string> unordered_vars;
+  std::set<std::string> float_vars;
+  std::set<std::string> ptr_container_vars;  // std::vector<T*> & friends
+
+  void merge_types_from(const Symbols& o) {
+    unordered_aliases.insert(o.unordered_aliases.begin(),
+                             o.unordered_aliases.end());
+    float_aliases.insert(o.float_aliases.begin(), o.float_aliases.end());
+    arith_aliases.insert(o.arith_aliases.begin(), o.arith_aliases.end());
+    enums.insert(o.enums.begin(), o.enums.end());
+  }
+};
+
+const std::set<std::string>& arith_type_names() {
+  static const std::set<std::string> kArith = {
+      "bool",          "char",          "wchar_t",      "char8_t",
+      "char16_t",      "char32_t",      "short",        "int",
+      "long",          "unsigned",      "signed",       "float",
+      "double",        "size_t",        "ssize_t",      "ptrdiff_t",
+      "int8_t",        "int16_t",       "int32_t",      "int64_t",
+      "uint8_t",       "uint16_t",      "uint32_t",     "uint64_t",
+      "intptr_t",      "uintptr_t",     "int_fast32_t", "int_fast64_t",
+      "uint_fast32_t", "uint_fast64_t"};
+  return kArith;
+}
+
+bool is_unordered_container(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+// After a closing '>' (or an alias type name), skips cv/ref noise and
+// returns the declared variable name, or "" if this is not a variable
+// declaration (function return type, iterator access, temporary, ...).
+std::string declared_name_at(const std::vector<Token>& t, std::size_t j) {
+  while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+  if (tok(t, j) == "::") return "";  // nested type access, not a variable
+  if (!is_ident(t, j)) return "";
+  if (tok(t, j + 1) == "(") return "";  // function declaration
+  return t[j].text;
+}
+
+void collect_symbols(const std::vector<Token>& t, bool is_header,
+                     Symbols& file_syms, Symbols& global_syms) {
+  auto record = [&](std::set<std::string> Symbols::* field,
+                    const std::string& name) {
+    if (name.empty()) return;
+    (file_syms.*field).insert(name);
+    // Member convention (trailing '_') and header declarations are
+    // visible across translation units; share them.
+    if (is_header || (!name.empty() && name.back() == '_'))
+      (global_syms.*field).insert(name);
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+
+    // Type aliases: using X = <...>;
+    if (s == "using" && is_ident(t, i + 1) && tok(t, i + 2) == "=") {
+      const std::string& alias = t[i + 1].text;
+      bool unordered = false;
+      std::string first_type;
+      for (std::size_t j = i + 3; j < t.size() && t[j].text != ";"; ++j) {
+        if (is_unordered_container(t[j].text)) unordered = true;
+        if (first_type.empty() && is_ident(t, j) && t[j].text != "std" &&
+            t[j].text != "const" && t[j].text != "typename")
+          first_type = t[j].text;
+      }
+      if (unordered) {
+        file_syms.unordered_aliases.insert(alias);
+        global_syms.unordered_aliases.insert(alias);
+      } else if (first_type == "float" || first_type == "double" ||
+                 global_syms.float_aliases.count(first_type) != 0) {
+        file_syms.float_aliases.insert(alias);
+        global_syms.float_aliases.insert(alias);
+      } else if (arith_type_names().count(first_type) != 0 ||
+                 global_syms.arith_aliases.count(first_type) != 0) {
+        file_syms.arith_aliases.insert(alias);
+        global_syms.arith_aliases.insert(alias);
+      }
+      continue;
+    }
+
+    // enum [class] Name
+    if (s == "enum" && i + 1 < t.size()) {
+      std::size_t j = i + 1;
+      if (tok(t, j) == "class" || tok(t, j) == "struct") ++j;
+      if (is_ident(t, j)) {
+        file_syms.enums.insert(t[j].text);
+        global_syms.enums.insert(t[j].text);
+      }
+      continue;
+    }
+
+    // std::unordered_map<K, V> name
+    if (is_unordered_container(s) && tok(t, i + 1) == "<") {
+      const std::size_t j = match_template(t, i + 1);
+      record(&Symbols::unordered_vars, declared_name_at(t, j));
+      continue;
+    }
+
+    // AliasOfUnordered name (e.g. `FlowMap flows_;`, `const FlowMap& m`)
+    if (t[i].kind == Token::Kind::kIdent &&
+        (file_syms.unordered_aliases.count(s) != 0 ||
+         global_syms.unordered_aliases.count(s) != 0) &&
+        tok(t, i - 1) != "using") {
+      record(&Symbols::unordered_vars, declared_name_at(t, i + 1));
+      continue;
+    }
+
+    // double/float (or alias) name
+    if (t[i].kind == Token::Kind::kIdent &&
+        (s == "double" || s == "float" ||
+         file_syms.float_aliases.count(s) != 0 ||
+         global_syms.float_aliases.count(s) != 0) &&
+        tok(t, i - 1) != "using" && tok(t, i - 1) != "<" &&
+        tok(t, i - 1) != ",") {
+      // Exclude template args (`vector<double>`) via the next token.
+      if (is_ident(t, i + 1) && tok(t, i + 2) != "(")
+        record(&Symbols::float_vars, t[i + 1].text);
+      continue;
+    }
+
+    // vector<T*> name (and deque/array/span)
+    if ((s == "vector" || s == "deque" || s == "array" || s == "span") &&
+        tok(t, i + 1) == "<") {
+      const std::size_t close = match_template(t, i + 1);
+      bool ptr_elem = false;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">") --depth;
+        else if (t[j].text == "*" && depth == 1) ptr_elem = true;
+      }
+      if (ptr_elem)
+        record(&Symbols::ptr_container_vars, declared_name_at(t, close));
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: rule scans.
+
+struct FileContext {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;  // original source, for snippets
+  // line -> rule -> reason
+  std::map<int, std::map<std::string, std::string>> suppressions;
+  const Symbols* file_syms = nullptr;
+  const Symbols* global_syms = nullptr;
+};
+
+bool lookup(const FileContext& ctx, std::set<std::string> Symbols::* field,
+            const std::string& name) {
+  return (ctx.file_syms->*field).count(name) != 0 ||
+         (ctx.global_syms->*field).count(name) != 0;
+}
+
+std::string snippet_at(const FileContext& ctx, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > ctx.lines.size()) return "";
+  std::string s = trim(ctx.lines[static_cast<std::size_t>(line) - 1]);
+  if (s.size() > 120) s = s.substr(0, 117) + "...";
+  return s;
+}
+
+void add_finding(const FileContext& ctx, std::vector<Finding>& out,
+                 const std::string& rule, int line, std::string message) {
+  Finding f;
+  f.rule = rule;
+  f.file = ctx.path;
+  f.line = line;
+  f.message = std::move(message);
+  f.snippet = snippet_at(ctx, line);
+  const auto at_line = ctx.suppressions.find(line);
+  if (at_line != ctx.suppressions.end()) {
+    const auto r = at_line->second.find(rule);
+    if (r != at_line->second.end()) {
+      f.suppressed = true;
+      f.suppress_reason = r->second;
+    }
+  }
+  out.push_back(std::move(f));
+}
+
+// True if the statement/block in [begin, end) mutates state: assignment
+// to a pre-existing lvalue, ++/--, or a call to anything not known to
+// be a pure accessor. Declarations with initializers (`const auto& x =
+// ...`) do not count; their RHS calls still do.
+bool has_side_effects(const std::vector<Token>& t, std::size_t begin,
+                      std::size_t end) {
+  static const std::set<std::string> kCompound = {
+      "=",  "+=", "-=", "*=", "/=",  "%=", "&=",
+      "|=", "^=", "<<=", ">>=", "++", "--"};
+  static const std::set<std::string> kPureCalls = {
+      "size",  "empty", "find",  "count", "at",    "begin",    "end",
+      "cbegin", "cend",  "contains", "value", "valid", "first",
+      "second", "min",   "max",   "front", "back",  "c_str",    "data",
+      "get",    "has",   "abs",   "floor", "ceil",  "sqrt",     "llround",
+      "round",  "isfinite", "isnan"};
+  static const std::set<std::string> kNotCalls = {
+      "if",     "while",       "for",         "switch",     "return",
+      "sizeof", "alignof",     "decltype",    "static_cast", "const_cast",
+      "dynamic_cast", "reinterpret_cast", "noexcept"};
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (t[i].kind == Token::Kind::kPunct && kCompound.count(s) != 0) {
+      if (s == "=") {
+        // `T x = ...` / `auto& x = ...` is a declaration, not a mutation:
+        // the token before the declared name is a type-ish token.
+        const std::string& before_lhs = tok(t, i - 2);
+        const bool is_decl =
+            i >= 2 && (t[i - 2].kind == Token::Kind::kIdent ||
+                       before_lhs == "&" || before_lhs == "*" ||
+                       before_lhs == ">" || before_lhs == "]");
+        if (is_decl) continue;
+      }
+      return true;
+    }
+    if (t[i].kind == Token::Kind::kIdent && tok(t, i + 1) == "(" &&
+        kPureCalls.count(s) == 0 && kNotCalls.count(s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct UnorderedLoop {
+  int line = 0;
+  std::string container;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+// Finds every for-loop (range or iterator form) over an unordered
+// container, with its body token range.
+std::vector<UnorderedLoop> find_unordered_loops(const FileContext& ctx) {
+  const auto& t = ctx.tokens;
+  std::vector<UnorderedLoop> loops;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || t[i + 1].text != "(") continue;
+    const std::size_t header_end = match_paren(t, i + 1);
+
+    // Range-for: the ':' at paren depth 1.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < header_end; ++j) {
+      if (t[j].text == "(") ++depth;
+      else if (t[j].text == ")") --depth;
+      else if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+
+    std::string container;
+    if (colon != 0) {
+      for (std::size_t j = colon + 1; j + 1 < header_end; ++j) {
+        if (is_ident(t, j) && (lookup(ctx, &Symbols::unordered_vars, t[j].text) ||
+                               is_unordered_container(t[j].text))) {
+          container = t[j].text;
+          break;
+        }
+      }
+    } else {
+      // Iterator form: `x.begin()` / `x.cbegin()` in the header.
+      for (std::size_t j = i + 2; j + 2 < header_end; ++j) {
+        if (is_ident(t, j) && (t[j + 1].text == "." || t[j + 1].text == "->") &&
+            (t[j + 2].text == "begin" || t[j + 2].text == "cbegin") &&
+            lookup(ctx, &Symbols::unordered_vars, t[j].text)) {
+          container = t[j].text;
+          break;
+        }
+      }
+    }
+    if (container.empty()) continue;
+
+    UnorderedLoop loop;
+    loop.line = t[i].line;
+    loop.container = container;
+    if (tok(t, header_end) == "{") {
+      loop.body_begin = header_end + 1;
+      loop.body_end = match_brace(t, header_end) - 1;
+    } else {
+      loop.body_begin = header_end;
+      std::size_t j = header_end;
+      int braces = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "{") ++braces;
+        else if (t[j].text == "}") --braces;
+        else if (t[j].text == ";" && braces == 0) break;
+      }
+      loop.body_end = j;
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+void scan_unordered_loops(const FileContext& ctx, std::vector<Finding>& out) {
+  for (const auto& loop : find_unordered_loops(ctx)) {
+    if (has_side_effects(ctx.tokens, loop.body_begin, loop.body_end)) {
+      add_finding(ctx, out, "unordered-loop", loop.line,
+                  "loop over unordered container '" + loop.container +
+                      "' has side effects in its body; hash iteration order "
+                      "is not part of the determinism contract (iterate a "
+                      "sorted view, or justify order-independence)");
+    }
+    // float-accum, part 1: compound float assignment inside the body.
+    const auto& t = ctx.tokens;
+    for (std::size_t i = loop.body_begin; i < loop.body_end; ++i) {
+      const std::string& op = tok(t, i + 1);
+      if (is_ident(t, i) && (op == "+=" || op == "-=" || op == "*=") &&
+          lookup(ctx, &Symbols::float_vars, t[i].text)) {
+        add_finding(ctx, out, "float-accum", t[i].line,
+                    "float accumulation into '" + t[i].text +
+                        "' inside a loop over unordered '" + loop.container +
+                        "': summation order follows hash order and FP "
+                        "addition is not associative");
+      }
+    }
+  }
+}
+
+void scan_nondet_sources(const FileContext& ctx, std::vector<Finding>& out) {
+  const auto& t = ctx.tokens;
+  static constexpr std::string_view kCliLayer = "src/scenario/cli.cc";
+  const bool is_cli_layer =
+      ctx.path.size() >= kCliLayer.size() &&
+      ctx.path.compare(ctx.path.size() - kCliLayer.size(), kCliLayer.size(),
+                       kCliLayer) == 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i)) continue;
+    const std::string& s = t[i].text;
+    const std::string& prev = tok(t, i - 1);
+    const std::string& next = tok(t, i + 1);
+    if (prev == "." || prev == "->") continue;  // member access, not std
+
+    if ((s == "rand" || s == "srand" || s == "rand_r" || s == "drand48") &&
+        next == "(") {
+      add_finding(ctx, out, "nondet-source", t[i].line,
+                  "call to " + s +
+                      "(): seed-independent randomness; use the seeded RNG "
+                      "plumbed through the scenario spec");
+    } else if (s == "random_device") {
+      add_finding(ctx, out, "nondet-source", t[i].line,
+                  "std::random_device draws entropy from the host; runs "
+                  "cannot be reproduced from the seed");
+    } else if (s == "steady_clock" || s == "system_clock" ||
+               s == "high_resolution_clock") {
+      add_finding(ctx, out, "nondet-source", t[i].line,
+                  "wall clock std::chrono::" + s +
+                      ": simulation state must derive time from the event "
+                      "clock only (wall time is fine for profiling that "
+                      "never feeds back into results)");
+    } else if ((s == "time" || s == "clock") && next == "(") {
+      // Bare call only; `SimTime time() const` declarations and
+      // `x.time()` accessors are fine.
+      const bool decl = i >= 1 && (t[i - 1].kind == Token::Kind::kIdent ||
+                                   prev == "&" || prev == "*" || prev == ">");
+      if (!decl || prev == "return") {
+        add_finding(ctx, out, "nondet-source", t[i].line,
+                    "call to " + s + "(): wall time is not reproducible");
+      }
+    } else if (s == "gettimeofday" || s == "clock_gettime" ||
+               s == "localtime" || s == "gmtime") {
+      if (next == "(")
+        add_finding(ctx, out, "nondet-source", t[i].line,
+                    "call to " + s + "(): wall time is not reproducible");
+    } else if (s == "getenv" && !is_cli_layer) {
+      add_finding(ctx, out, "nondet-source", t[i].line,
+                  "getenv outside the CLI layer: environment-dependent "
+                  "behaviour hides run configuration from the scenario "
+                  "spec (route the knob through src/scenario/cli.cc)");
+    }
+  }
+}
+
+void scan_ptr_order(const FileContext& ctx, std::vector<Finding>& out) {
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i)) continue;
+    const std::string& s = t[i].text;
+
+    if (s == "hash" && tok(t, i + 1) == "<") {
+      const std::size_t close = match_template(t, i + 1);
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">") --depth;
+        else if (t[j].text == "*" && depth == 1) {
+          add_finding(ctx, out, "ptr-order", t[i].line,
+                      "std::hash over a pointer type hashes the address; "
+                      "bucket placement varies run to run under ASLR");
+          break;
+        }
+      }
+    } else if ((s == "map" || s == "set" || s == "multimap" ||
+                s == "multiset") &&
+               tok(t, i + 1) == "<" && tok(t, i - 1) == "::" &&
+               tok(t, i - 2) == "std") {
+      // First template argument (the key) up to a depth-1 comma.
+      const std::size_t close = match_template(t, i + 1);
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">") --depth;
+        else if (t[j].text == "," && depth == 1) break;
+        else if (t[j].text == "*" && depth == 1) {
+          add_finding(ctx, out, "ptr-order", t[i].line,
+                      "std::" + s +
+                          " keyed by a pointer: iteration order is the "
+                          "address order (key by a stable id instead)");
+          break;
+        }
+      }
+    } else if ((s == "sort" || s == "stable_sort" || s == "partial_sort" ||
+                s == "nth_element") &&
+               tok(t, i + 1) == "(") {
+      const std::size_t close = match_paren(t, i + 1);
+      // Split top-level arguments.
+      std::vector<std::pair<std::size_t, std::size_t>> arg_ranges;
+      std::size_t arg_begin = i + 2;
+      int depth = 0;
+      for (std::size_t j = i + 1; j + 1 < close; ++j) {
+        const std::string& a = t[j].text;
+        if (a == "(" || a == "<" || a == "[" || a == "{") ++depth;
+        else if (a == ")" || a == ">" || a == "]" || a == "}") --depth;
+        else if (a == "," && depth == 1) {
+          arg_ranges.push_back({arg_begin, j});
+          arg_begin = j + 1;
+        }
+      }
+      arg_ranges.push_back({arg_begin, close - 1});
+
+      std::string root;
+      if (!arg_ranges.empty()) {
+        for (std::size_t j = arg_ranges[0].first; j < arg_ranges[0].second;
+             ++j) {
+          if (is_ident(t, j)) {
+            root = t[j].text;
+            break;
+          }
+        }
+      }
+      if (!root.empty() && lookup(ctx, &Symbols::ptr_container_vars, root)) {
+        if (arg_ranges.size() <= 2) {
+          add_finding(ctx, out, "ptr-order", t[i].line,
+                      "sorting pointer container '" + root +
+                          "' with the default comparator orders by "
+                          "address; pass a comparator over stable fields");
+        } else {
+          const auto& cmp = arg_ranges.back();
+          bool derefs = false;
+          for (std::size_t j = cmp.first; j < cmp.second; ++j) {
+            if (t[j].text == "->" || t[j].text == ".") derefs = true;
+          }
+          if (!derefs) {
+            add_finding(ctx, out, "ptr-order", t[i].line,
+                        "comparator over pointer container '" + root +
+                            "' never dereferences its arguments; it "
+                            "compares addresses");
+          }
+        }
+      }
+    } else if (s == "reinterpret_cast" && tok(t, i + 1) == "<") {
+      const std::size_t close = match_template(t, i + 1);
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "uintptr_t" || t[j].text == "intptr_t") {
+          add_finding(ctx, out, "ptr-order", t[i].line,
+                      "reinterpret_cast to " + t[j].text +
+                          " derives a value from an object address, which "
+                          "varies run to run");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void scan_float_accumulate(const FileContext& ctx, std::vector<Finding>& out) {
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!(is_ident(t, i) && t[i].text == "accumulate" &&
+          tok(t, i + 1) == "("))
+      continue;
+    const std::size_t close = match_paren(t, i + 1);
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (is_ident(t, j) && lookup(ctx, &Symbols::unordered_vars, t[j].text)) {
+        add_finding(ctx, out, "float-accum", t[i].line,
+                    "std::accumulate over unordered container '" + t[j].text +
+                        "': the fold order follows hash order");
+        break;
+      }
+    }
+  }
+}
+
+// --- Rule 5: uninitialized fields in src/ headers. -------------------------
+
+bool needs_default_init(const FileContext& ctx,
+                        const std::vector<Token>& stmt) {
+  // Reference members must be constructor-initialized anyway; bitfields
+  // and anything already carrying '(' were filtered by the caller.
+  int angle = 0;
+  for (const auto& tk : stmt) {
+    if (tk.text == "<") ++angle;
+    else if (tk.text == ">") --angle;
+    else if (tk.text == "*" && angle == 0) return true;  // raw pointer field
+  }
+  // First type-ish identifier.
+  static const std::set<std::string> kQualifiers = {
+      "const", "mutable", "volatile", "constexpr", "inline", "std",
+      "typename"};
+  for (const auto& tk : stmt) {
+    if (tk.kind != Token::Kind::kIdent) continue;
+    if (kQualifiers.count(tk.text) != 0) continue;
+    return arith_type_names().count(tk.text) != 0 ||
+           lookup(ctx, &Symbols::arith_aliases, tk.text) ||
+           lookup(ctx, &Symbols::float_aliases, tk.text) ||
+           lookup(ctx, &Symbols::enums, tk.text);
+  }
+  return false;
+}
+
+void analyze_member_stmt(const FileContext& ctx,
+                         const std::vector<Token>& stmt, bool initialized,
+                         std::vector<Finding>& out) {
+  if (stmt.empty() || initialized) return;
+  static const std::set<std::string> kSkipLead = {
+      "using", "typedef", "friend", "static", "operator",
+      "virtual", "explicit", "template", "~"};
+  if (kSkipLead.count(stmt.front().text) != 0) return;
+  for (const auto& tk : stmt) {
+    if (tk.text == "(" || tk.text == "=" || tk.text == ":" ||
+        tk.text == "&" || tk.text == "operator")
+      return;  // function, initialized, bitfield, or reference
+  }
+  if (!needs_default_init(ctx, stmt)) return;
+
+  // Declarator = last identifier (arrays: the name precedes '[').
+  const Token* name = nullptr;
+  for (const auto& tk : stmt) {
+    if (tk.kind == Token::Kind::kIdent) name = &tk;
+    if (tk.text == "[") break;
+  }
+  if (name == nullptr) return;
+  add_finding(ctx, out, "uninit-field", name->line,
+              "field '" + name->text +
+                  "' has no default initializer; a forgotten constructor "
+                  "leaves it indeterminate (add '= ...' or '{}')");
+}
+
+// Parses one class body starting at tokens[open] == "{"; returns the
+// index just past the matching "}". Recurses into nested classes.
+std::size_t parse_class_body(const FileContext& ctx,
+                             const std::vector<Token>& t, std::size_t open,
+                             std::vector<Finding>& out) {
+  std::vector<Token> stmt;
+  bool initialized = false;
+  std::size_t i = open + 1;
+  while (i < t.size()) {
+    const std::string& s = t[i].text;
+    if (s == "}") return i + 1;
+    if ((s == "public" || s == "private" || s == "protected") &&
+        tok(t, i + 1) == ":") {
+      i += 2;
+      continue;
+    }
+    if ((s == "struct" || s == "class" || s == "union") &&
+        stmt.empty()) {
+      // Nested type: find its body (if any) and recurse, then consume
+      // through the trailing `;` (covering `struct {...} member;`).
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j].text != "{" && t[j].text != ";") {
+        if (t[j].text == "<") j = match_template(t, j) - 1;
+        ++j;
+      }
+      if (j < t.size() && t[j].text == "{") {
+        const std::size_t past = parse_class_body(ctx, t, j, out);
+        i = past;
+        while (i < t.size() && t[i].text != ";") ++i;
+        ++i;
+      } else {
+        i = j + 1;  // forward declaration
+      }
+      continue;
+    }
+    if (s == "enum" && stmt.empty()) {
+      while (i < t.size() && t[i].text != ";" && t[i].text != "{") ++i;
+      if (i < t.size() && t[i].text == "{") i = match_brace(t, i);
+      while (i < t.size() && t[i].text != ";") ++i;
+      ++i;
+      continue;
+    }
+    if (s == "{") {
+      bool is_function = false;
+      for (const auto& tk : stmt)
+        if (tk.text == "(") is_function = true;
+      i = match_brace(t, i);
+      if (is_function) {
+        if (tok(t, i) == ";") ++i;  // `} ;` after an in-class definition
+        stmt.clear();
+        initialized = false;
+      } else {
+        initialized = true;  // brace-init member: `int x{0};`
+      }
+      continue;
+    }
+    if (s == ";") {
+      analyze_member_stmt(ctx, stmt, initialized, out);
+      stmt.clear();
+      initialized = false;
+      ++i;
+      continue;
+    }
+    if (s == "=") initialized = true;
+    stmt.push_back(t[i]);
+    ++i;
+  }
+  return i;
+}
+
+void scan_uninit_fields(const FileContext& ctx, std::vector<Finding>& out) {
+  // Scope: headers under src/ (the library surface; test/bench fixtures
+  // churn too much to police and never outlive a run).
+  const bool is_src_header =
+      ctx.path.size() > 2 &&
+      ctx.path.compare(ctx.path.size() - 2, 2, ".h") == 0 &&
+      (ctx.path.rfind("src/", 0) == 0 ||
+       ctx.path.find("/src/") != std::string::npos);
+  if (!is_src_header) return;
+
+  const auto& t = ctx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s != "struct" && s != "class") continue;
+    const std::string& prev = tok(t, i - 1);
+    if (prev == "<" || prev == "," || prev == "enum") continue;  // tmpl params
+    if (!is_ident(t, i + 1)) continue;
+    // Find the body '{' (skipping a base-clause) or bail at ';'.
+    std::size_t j = i + 2;
+    while (j < t.size() && t[j].text != "{" && t[j].text != ";" &&
+           t[j].text != ")") {
+      if (t[j].text == "<") {
+        j = match_template(t, j);
+        continue;
+      }
+      ++j;
+    }
+    if (j < t.size() && t[j].text == "{") {
+      parse_class_body(ctx, t, j, out);
+      // The outer loop continues past `struct`; nested classes are
+      // re-discovered and re-parsed, so findings are deduplicated later.
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+const std::vector<RuleInfo>& rules() { return rule_table(); }
+
+bool is_known_rule(const std::string& id) {
+  for (const auto& r : rule_table())
+    if (r.id == id) return true;
+  return false;
+}
+
+void Linter::add_file(const std::string& path, std::string content) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  if (norm.rfind("./", 0) == 0) norm = norm.substr(2);
+  files_.push_back({std::move(norm), std::move(content)});
+}
+
+bool Linter::add_file_from_disk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  add_file(path, ss.str());
+  return true;
+}
+
+std::vector<Finding> Linter::run() {
+  // Deterministic regardless of add_file order.
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  struct Prepared {
+    CleanResult clean;
+    std::vector<Token> tokens;
+    Symbols syms;
+  };
+  std::vector<Prepared> prepared(files_.size());
+  Symbols global;
+
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    prepared[i].clean = clean_source(files_[i].path, files_[i].content);
+    prepared[i].tokens = tokenize(prepared[i].clean.text);
+    const bool is_header =
+        files_[i].path.size() > 2 &&
+        files_[i].path.compare(files_[i].path.size() - 2, 2, ".h") == 0;
+    collect_symbols(prepared[i].tokens, is_header, prepared[i].syms, global);
+  }
+
+  std::vector<Finding> all;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    FileContext ctx;
+    ctx.path = files_[i].path;
+    ctx.tokens = prepared[i].tokens;
+    ctx.file_syms = &prepared[i].syms;
+    ctx.global_syms = &global;
+
+    // Original lines for snippets.
+    std::stringstream ls(files_[i].content);
+    std::string line;
+    while (std::getline(ls, line)) ctx.lines.push_back(line);
+
+    // Suppression map: trailing directives bind to their own line,
+    // standalone ones to the next line that has code.
+    const auto& cr = prepared[i].clean;
+    for (const auto& sup : cr.suppressions) {
+      int target = sup.line;
+      if (sup.standalone) {
+        for (std::size_t l = static_cast<std::size_t>(sup.line) + 1;
+             l < cr.line_has_code.size(); ++l) {
+          if (cr.line_has_code[l]) {
+            target = static_cast<int>(l);
+            break;
+          }
+        }
+      }
+      for (const auto& r : sup.rules)
+        ctx.suppressions[target][r] = sup.reason;
+    }
+
+    for (const auto& bad : cr.bad_directives) all.push_back(bad);
+    scan_unordered_loops(ctx, all);
+    scan_nondet_sources(ctx, all);
+    scan_ptr_order(ctx, all);
+    scan_float_accumulate(ctx, all);
+    scan_uninit_fields(ctx, all);
+  }
+
+  // Dedup (nested-class re-parsing can revisit a site) and order by
+  // (file, line, rule, message) for stable output.
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return std::tie(a.file, a.line, a.rule, a.message) ==
+                                 std::tie(b.file, b.line, b.rule, b.message);
+                        }),
+            all.end());
+  return all;
+}
+
+std::string report_json(const std::vector<Finding>& findings,
+                        std::size_t files_scanned) {
+  std::size_t unsuppressed = 0, suppressed = 0;
+  for (const auto& f : findings) (f.suppressed ? suppressed : unsuppressed)++;
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.member("tool", "detlint");
+  w.member("schema_version", std::uint64_t{1});
+  w.member("files_scanned", static_cast<std::uint64_t>(files_scanned));
+  w.key("counts");
+  w.begin_object();
+  w.member("unsuppressed", static_cast<std::uint64_t>(unsuppressed));
+  w.member("suppressed", static_cast<std::uint64_t>(suppressed));
+  w.end_object();
+  w.key("rules");
+  w.begin_array();
+  for (const auto& r : rule_table()) {
+    w.begin_object();
+    w.member("id", r.id);
+    w.member("summary", r.summary);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings");
+  w.begin_array();
+  for (const auto& f : findings) {
+    if (f.suppressed) continue;
+    w.begin_object();
+    w.member("rule", f.rule);
+    w.member("file", f.file);
+    w.member("line", f.line);
+    w.member("message", f.message);
+    w.member("snippet", f.snippet);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("suppressed");
+  w.begin_array();
+  for (const auto& f : findings) {
+    if (!f.suppressed) continue;
+    w.begin_object();
+    w.member("rule", f.rule);
+    w.member("file", f.file);
+    w.member("line", f.line);
+    w.member("reason", f.suppress_reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
+std::set<std::pair<std::string, std::string>> load_baseline(
+    const std::string& path) {
+  const obs::JsonValue doc = obs::parse_json_file(path);
+  if (!doc.is_object() || !doc.has("findings"))
+    throw std::runtime_error(path + ": baseline must be {\"findings\": [...]}");
+  const obs::JsonValue* arr = doc.find("findings");
+  if (!arr->is_array())
+    throw std::runtime_error(path + ": \"findings\" must be an array");
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& e : arr->array) {
+    const obs::JsonValue* rule = e.find("rule");
+    const obs::JsonValue* file = e.find("file");
+    if (rule == nullptr || file == nullptr || !rule->is_string() ||
+        !file->is_string())
+      throw std::runtime_error(
+          path + ": each baseline entry needs string \"rule\" and \"file\"");
+    out.insert({rule->string, file->string});
+  }
+  return out;
+}
+
+}  // namespace wcs::detlint

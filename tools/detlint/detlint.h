@@ -1,0 +1,111 @@
+// detlint: the in-tree determinism static-analysis pass.
+//
+// The byte-identity contract (DESIGN.md §Invariants & static analysis)
+// says every run of the simulator must be bit-for-bit reproducible.
+// Most violations of that contract enter the tree through a handful of
+// mechanical patterns — iterating a hash table in a loop with side
+// effects, reading a wall clock, ordering by pointer value. detlint is
+// a lightweight lexer + declaration/statement scanner (no compiler
+// dependency) that finds those patterns and fails the build until they
+// are either fixed or explicitly justified in-line:
+//
+//   // detlint: <rule>[,<rule>...] -- <reason>
+//
+// A suppression comment applies to its own line (trailing form) or to
+// the next line with code (standalone form). The reason is mandatory;
+// a directive without one is itself a finding (`bad-suppression`).
+//
+// Rules:
+//   unordered-loop  loops over std::unordered_{map,set} whose bodies
+//                   carry side effects (iteration order is a hash-table
+//                   implementation detail, not a contract)
+//   nondet-source   rand()/std::random_device, wall clocks
+//                   (steady/system/high_resolution_clock, time()),
+//                   getenv outside the CLI layer
+//   ptr-order       orderings derived from addresses: std::hash<T*>,
+//                   pointer-keyed ordered maps/sets, sorting pointer
+//                   containers by value, reinterpret_cast to uintptr_t
+//   float-accum     float/double accumulation (+=, std::accumulate)
+//                   inside loops over unordered containers
+//   uninit-field    struct/class fields of arithmetic, enum, or
+//                   pointer type in src/ headers without a default
+//                   initializer (indeterminate reads are the least
+//                   reproducible bug there is)
+//
+// The scanner is deliberately conservative: it prefers a finding that
+// needs a one-line justification over a silent miss. See DESIGN.md for
+// the rules table and tools/detlint/main.cc for the CLI.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wcs::detlint {
+
+// One rule of the pass, for --list-rules and the JSON report.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+// Every rule detlint knows, in stable (alphabetical) order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+[[nodiscard]] bool is_known_rule(const std::string& id);
+
+// One diagnostic. `suppressed` findings carry the justification from
+// the matching `// detlint:` directive and do not fail the run.
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  std::string snippet;  // the offending source line, trimmed
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+// The pass. Two-phase by design: add every file first (declaration
+// collection — type aliases and member names cross file boundaries),
+// then run() scans. Deterministic: findings are ordered by
+// (file, line, rule) regardless of add_file order.
+class Linter {
+ public:
+  // Registers `content` under `path` (virtual paths are fine; tests
+  // lint in-memory fixtures). Path is normalized to forward slashes.
+  void add_file(const std::string& path, std::string content);
+
+  // Reads `path` from disk. Returns false (and records nothing) if the
+  // file cannot be read.
+  bool add_file_from_disk(const std::string& path);
+
+  [[nodiscard]] std::size_t files_added() const { return files_.size(); }
+
+  // Runs every rule over every added file.
+  [[nodiscard]] std::vector<Finding> run();
+
+ private:
+  struct SourceFile {
+    std::string path;
+    std::string content;
+  };
+  std::vector<SourceFile> files_;
+};
+
+// Serializes findings as the detlint JSON report (schema_version 1),
+// written with the deterministic obs JsonWriter. Includes both
+// unsuppressed findings and the suppressed list with reasons.
+[[nodiscard]] std::string report_json(const std::vector<Finding>& findings,
+                                      std::size_t files_scanned);
+
+// Baseline support: a JSON file {"findings": [{"rule": .., "file": ..}]}
+// of known findings to tolerate (matched by rule+file, line-drift
+// tolerant). The checked-in baseline is empty — the tree stays clean —
+// but the mechanism exists so a future migration can land in stages.
+// Throws std::runtime_error on malformed baseline files.
+[[nodiscard]] std::set<std::pair<std::string, std::string>> load_baseline(
+    const std::string& path);
+
+}  // namespace wcs::detlint

@@ -1,0 +1,140 @@
+// detlint CLI. Scans the given files/directories (recursing into *.h
+// and *.cc) and exits 1 on any unsuppressed finding. The wrapper that
+// CI and reproduce.sh call is scripts/check_detlint.sh; the rules and
+// the suppression grammar are documented in DESIGN.md §Invariants &
+// static analysis.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: detlint [options] <path>...\n"
+               "\n"
+               "Determinism static-analysis pass. Paths may be files or\n"
+               "directories (scanned recursively for *.h / *.cc).\n"
+               "\n"
+               "  --json PATH      write the machine-readable report\n"
+               "  --baseline PATH  tolerate findings listed in PATH\n"
+               "                   (matched by rule+file; the checked-in\n"
+               "                   baseline is empty)\n"
+               "  --list-rules     print the rule table and exit\n"
+               "  --quiet          findings counted but not printed\n"
+               "  -h, --help       this text\n"
+               "\n"
+               "exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using wcs::detlint::Finding;
+
+  std::string json_path;
+  std::string baseline_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage(0);
+    if (arg == "--list-rules") {
+      for (const auto& r : wcs::detlint::rules())
+        std::printf("%-16s %s\n", r.id.c_str(), r.summary.c_str());
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json" || arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "detlint: %s needs a path\n", arg.c_str());
+        return usage(2);
+      }
+      (arg == "--json" ? json_path : baseline_path) = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown option %s\n", arg.c_str());
+      return usage(2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(2);
+
+  // Expand directories; sort for deterministic output.
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(p, ec)) {
+        if (!e.is_regular_file()) continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp")
+          files.push_back(e.path().generic_string());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "detlint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+  }
+
+  wcs::detlint::Linter linter;
+  for (const auto& f : files) {
+    if (!linter.add_file_from_disk(f)) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+  }
+  std::vector<Finding> findings = linter.run();
+
+  if (!baseline_path.empty()) {
+    try {
+      const auto baseline = wcs::detlint::load_baseline(baseline_path);
+      for (auto& f : findings) {
+        if (!f.suppressed && baseline.count({f.rule, f.file}) != 0) {
+          f.suppressed = true;
+          f.suppress_reason = "baselined (" + baseline_path + ")";
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "detlint: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::size_t unsuppressed = 0, suppressed = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++unsuppressed;
+    if (!quiet) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+      if (!f.snippet.empty()) std::printf("    %s\n", f.snippet.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << wcs::detlint::report_json(findings, linter.files_added());
+  }
+
+  std::printf("detlint: %zu finding(s), %zu suppressed, %zu file(s) scanned\n",
+              unsuppressed, suppressed, linter.files_added());
+  return unsuppressed == 0 ? 0 : 1;
+}
