@@ -57,6 +57,26 @@ struct FlowAuditSnapshot {
 void check_flow_conservation(const FlowAuditSnapshot& snap,
                              std::vector<Violation>& out);
 
+// Incremental max-min reallocation vs a from-scratch recompute. The
+// FlowManager produces the snapshot (audit_rates_snapshot): for every
+// bandwidth-sharing flow, the live stored rate next to the rate a full
+// progressive-filling pass over the same pool computes. The dirty-
+// component reallocation contract is exact — stored rates must match the
+// recompute bitwise, so the checker tolerates no drift at all.
+struct FlowRateEntry {
+  std::uint64_t id = 0;
+  double stored_bps = 0;      // the live incremental allocation
+  double recomputed_bps = 0;  // from-scratch progressive filling
+};
+
+struct FlowRatesSnapshot {
+  std::string label;  // e.g. "flow manager"
+  std::vector<FlowRateEntry> flows;
+};
+
+void check_flow_rates(const FlowRatesSnapshot& snap,
+                      std::vector<Violation>& out);
+
 // --- (b) cache / index coherence ----------------------------------------
 
 struct CacheAuditSnapshot {

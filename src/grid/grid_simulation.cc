@@ -80,6 +80,9 @@ void GridSimulation::register_audit_checkers() {
   auditor_->add_checker("flow-conservation", [this](auto& out) {
     audit::check_flow_conservation(data_->flows().audit_snapshot(), out);
   });
+  auditor_->add_checker("flow-rates", [this](auto& out) {
+    audit::check_flow_rates(data_->flows().audit_rates_snapshot(), out);
+  });
   auditor_->add_checker("cache-coherence", [this](auto& out) {
     for (std::size_t s = 0; s < data_->num_sites(); ++s) {
       const storage::DataServer& ds =

@@ -9,6 +9,69 @@ namespace {
 // Below this many bytes a flow is considered done; guards against FP dust
 // keeping a flow alive forever.
 constexpr double kEpsilonBytes = 1e-6;
+
+// Progressive filling (max-min fairness) over `pool`: repeatedly find the
+// most constrained link among `links` (smallest per-flow fair share,
+// lowest link id among ties — `links` is scanned in ascending id order),
+// freeze its flows at that share, and subtract their demand from the
+// other links they cross. caps/crossing are dense per-link tables the
+// caller seeded for every link in `links`; rates[i] receives pool[i]'s
+// share. `unfixed` is caller-provided worklist scratch.
+//
+// The bottleneck order within one connected component of the flow<->link
+// sharing graph is independent of any other component (freezing a flow
+// only touches links of its own component), so running this over a
+// single component produces bitwise the same shares a full-pool run
+// assigns that component's flows. That equivalence is what lets
+// FlowManager::reallocate rebalance only the dirty component.
+template <typename FlowPtr>
+void progressive_fill(const std::vector<FlowPtr>& pool,
+                      const std::vector<LinkId>& links,
+                      std::vector<double>& caps, std::vector<int>& crossing,
+                      std::vector<std::size_t>& unfixed,
+                      std::vector<double>& rates) {
+  rates.assign(pool.size(), 0);
+  unfixed.resize(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) unfixed[i] = i;
+
+  while (!unfixed.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkId::underlying_type best_link = 0;
+    bool found = false;
+    for (LinkId lid : links) {
+      int n = crossing[lid.value()];
+      if (n <= 0) continue;
+      double share = caps[lid.value()] / n;
+      if (share < best_share) {
+        best_share = share;
+        best_link = lid.value();
+        found = true;
+      }
+    }
+    WCS_CHECK(found);
+
+    // Freeze every unfixed flow crossing the bottleneck at best_share;
+    // compact survivors in place (canonical id order is preserved).
+    std::size_t kept = 0;
+    for (std::size_t idx : unfixed) {
+      const auto& route = pool[idx]->route;
+      bool hits = std::find_if(route.begin(), route.end(), [&](LinkId l) {
+                    return l.value() == best_link;
+                  }) != route.end();
+      if (!hits) {
+        unfixed[kept++] = idx;
+        continue;
+      }
+      rates[idx] = best_share;
+      for (LinkId lid : route) {
+        caps[lid.value()] -= best_share;
+        if (caps[lid.value()] < 0) caps[lid.value()] = 0;
+        --crossing[lid.value()];
+      }
+    }
+    unfixed.resize(kept);
+  }
+}
 }  // namespace
 
 void FlowManager::set_observability(obs::Observability* o) {
@@ -59,7 +122,7 @@ void FlowManager::activate(FlowId id) {
     complete(id);
     return;
   }
-  reallocate();
+  reallocate(f.route);
 }
 
 void FlowManager::complete(FlowId id) {
@@ -69,8 +132,7 @@ void FlowManager::complete(FlowId id) {
   // Credit the final stretch since the last settle to the link counters
   // before the flow disappears.
   if (f.active && f.rate > 0) {
-    double moved =
-        std::min(f.rate * (sim_.now() - f.last_update), f.remaining);
+    double moved = unsettled_bytes(f, sim_.now());
     for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
   }
   FlowCallback cb = std::move(f.on_complete);
@@ -86,9 +148,16 @@ void FlowManager::complete(FlowId id) {
     span.bytes = f.total;
     tracer_->record(span);
   }
+  // A draining flow already left the sharing pool when its rate was
+  // zeroed; its links were rebalanced then, so its disappearance now
+  // cannot change any rate.
+  const bool shared = f.active && !f.draining;
+  Route released = std::move(f.route);
   flows_.erase(it);
   ++completed_;
-  reallocate();
+  if (shared) {
+    reallocate(released);
+  }
   if (cb) cb(id);
 }
 
@@ -99,13 +168,22 @@ bool FlowManager::cancel(FlowId id) {
   if (f.pending_event.valid()) sim_.cancel(f.pending_event);
   // Settle the bytes this flow moved so link statistics stay accurate.
   if (f.active && f.rate > 0) {
-    double moved = f.rate * (sim_.now() - f.last_update);
+    double moved = unsettled_bytes(f, sim_.now());
     for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
   }
+  const bool shared = f.active && !f.draining;
+  Route released = std::move(f.route);
   flows_.erase(it);
   ++cancelled_;
-  reallocate();
+  if (shared) {
+    reallocate(released);
+  }
   return true;
+}
+
+double FlowManager::unsettled_bytes(const Flow& f, SimTime now) const {
+  double moved = f.rate * (now - f.last_update);
+  return std::min(moved, f.remaining);
 }
 
 audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
@@ -114,6 +192,7 @@ audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
   snap.bytes_delivered = bytes_delivered_;
   snap.flows_completed = completed_;
   snap.flows_cancelled = cancelled_;
+  const SimTime now = sim_.now();
 
   snap.links.reserve(topo_.num_links());
   for (std::size_t l = 0; l < topo_.num_links(); ++l) {
@@ -140,7 +219,11 @@ audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
     audit::FlowProgress p;
     p.id = f.id.value();
     p.total_bytes = f.total;
-    p.remaining_bytes = f.remaining;
+    // Flows settle lazily (only on rate change); project the stored
+    // progress forward to now so the ledger laws see the fluid state.
+    p.remaining_bytes = f.active && f.rate > 0
+                            ? f.remaining - unsettled_bytes(f, now)
+                            : f.remaining;
     p.rate_bps = f.active ? f.rate : 0;
     p.active = f.active;
     snap.flows.push_back(p);
@@ -153,120 +236,193 @@ audit::FlowAuditSnapshot FlowManager::audit_snapshot() const {
   return snap;
 }
 
+audit::FlowRatesSnapshot FlowManager::audit_rates_snapshot() const {
+  audit::FlowRatesSnapshot snap;
+  snap.label = "flow manager";
+
+  // Local (non-hoisted) buffers: the audit path must leave the manager
+  // untouched so audited runs stay byte-identical.
+  std::vector<const Flow*> pool;
+  pool.reserve(flows_.size());
+  // detlint: unordered-loop -- collect-then-sort: 'pool' is sorted by flow id below
+  for (const auto& [id, f] : flows_)
+    if (f.active && !f.draining) pool.push_back(&f);
+  std::sort(pool.begin(), pool.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+
+  std::vector<LinkId> links;
+  std::vector<double> caps(topo_.num_links(), 0);
+  std::vector<int> crossing(topo_.num_links(), 0);
+  for (const Flow* f : pool) {
+    for (LinkId lid : f->route) {
+      if (crossing[lid.value()] == 0) {
+        links.push_back(lid);
+        caps[lid.value()] = topo_.link(lid).bandwidth_bps;
+      }
+      ++crossing[lid.value()];
+    }
+  }
+  std::sort(links.begin(), links.end());
+
+  std::vector<std::size_t> unfixed;
+  std::vector<double> rates;
+  progressive_fill(pool, links, caps, crossing, unfixed, rates);
+
+  snap.flows.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    audit::FlowRateEntry e;
+    e.id = pool[i]->id.value();
+    e.stored_bps = pool[i]->rate;
+    e.recomputed_bps = rates[i];
+    snap.flows.push_back(e);
+  }
+  return snap;
+}
+
 double FlowManager::flow_rate(FlowId id) const {
   auto it = flows_.find(id);
   if (it == flows_.end()) return 0;
   return it->second.active ? it->second.rate : 0;
 }
 
-void FlowManager::reallocate() {
-  obs::ScopedPhase phase(profiler_, obs::Phase::kFlowReallocation);
+void FlowManager::collect_pool() {
+  realloc_order_.clear();
+  // detlint: unordered-loop -- collect-then-sort: 'realloc_order_' is sorted by flow id below
+  for (auto& [id, f] : flows_)
+    if (f.active && !f.draining) realloc_order_.push_back(&f);
+  std::sort(realloc_order_.begin(), realloc_order_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+}
+
+void FlowManager::build_component(const std::vector<LinkId>& seeds) {
+  ++epoch_;
+  component_.clear();
+  fill_links_.clear();
+  collect_pool();
+
+  if (!options_.incremental) {
+    // Reference mode: the component is the whole pool.
+    component_ = realloc_order_;
+    for (Flow* f : component_) {
+      for (LinkId lid : f->route) {
+        if (link_mark_[lid.value()] != epoch_) {
+          link_mark_[lid.value()] = epoch_;
+          fill_links_.push_back(lid);
+        }
+      }
+    }
+    std::sort(fill_links_.begin(), fill_links_.end());
+    return;
+  }
+
+  for (LinkId lid : seeds) {
+    if (link_mark_[lid.value()] != epoch_) {
+      link_mark_[lid.value()] = epoch_;
+      fill_links_.push_back(lid);
+    }
+  }
+
+  // Flood the sharing graph: a flow joins the component when any link of
+  // its route is dirty, and dirties the rest of its route in turn. The
+  // pass repeats until a full sweep adds nothing (bounded by the
+  // component's hop diameter). Flow marks reuse the link epoch counter.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (Flow* f : realloc_order_) {
+      if (f->mark == epoch_) continue;
+      bool touches = false;
+      for (LinkId lid : f->route) {
+        if (link_mark_[lid.value()] == epoch_) {
+          touches = true;
+          break;
+        }
+      }
+      if (!touches) continue;
+      f->mark = epoch_;
+      component_.push_back(f);
+      grew = true;
+      for (LinkId lid : f->route) {
+        if (link_mark_[lid.value()] != epoch_) {
+          link_mark_[lid.value()] = epoch_;
+          fill_links_.push_back(lid);
+        }
+      }
+    }
+  }
+  // Flows join in flood order (pass by pass); restore the canonical id
+  // order the apply step and the full-recompute reference both use.
+  std::sort(component_.begin(), component_.end(),
+            [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  std::sort(fill_links_.begin(), fill_links_.end());
+}
+
+void FlowManager::reallocate(const Route& seed_links) {
   if (realloc_counter_) realloc_counter_->add();
   const SimTime now = sim_.now();
 
-  // Canonical iteration order for the whole pass: active flows sorted
-  // by id. Hash-map order happens to be deterministic for a fixed
-  // stdlib, but per-link byte settlement (FP sums) and completion-event
-  // scheduling (event-id tie-breaks) should not hang on a rehash
-  // policy. The scratch vector is hoisted, so the steady state stays
-  // allocation-free.
-  std::vector<Flow*>& active = realloc_order_;
-  active.clear();
-  // detlint: unordered-loop -- collect-then-sort: 'active' is sorted by flow id below
-  for (auto& [id, f] : flows_)
-    if (f.active) active.push_back(&f);
-  std::sort(active.begin(), active.end(),
-            [](const Flow* a, const Flow* b) { return a->id < b->id; });
-
-  // 1. Settle every active flow's progress at its old rate.
-  for (Flow* fp : active) {
-    Flow& f = *fp;
-    if (f.rate > 0) {
-      double moved = f.rate * (now - f.last_update);
-      moved = std::min(moved, f.remaining);
-      f.remaining -= moved;
-      for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
+  seed_scratch_.assign(seed_links.begin(), seed_links.end());
+  // Drain loop: applying new rates can discover flows whose remaining
+  // hit zero (simultaneous completions). Those leave the sharing pool
+  // immediately, freeing their bandwidth, which seeds another round.
+  // Each round retires at least one flow, so the loop terminates.
+  while (true) {
+    {
+      obs::ScopedPhase phase(profiler_, obs::Phase::kFlowDirtySet);
+      build_component(seed_scratch_);
     }
-    f.last_update = now;
-    if (f.pending_event.valid()) {
-      sim_.cancel(f.pending_event);
-      f.pending_event = EventId::invalid();
-    }
-  }
 
-  // 2. Progressive filling: repeatedly find the most constrained link
-  // (smallest per-flow fair share), freeze its flows at that share, and
-  // subtract their demand from the other links they cross. The worklist
-  // and the per-link capacity/crossing tables are hoisted members
-  // (indexed by dense link id), so this loop does not allocate once the
-  // scratch has grown to the topology's size.
-  std::vector<Flow*>& unfixed = realloc_unfixed_;
-  unfixed.assign(active.begin(), active.end());  // already sorted by id
-
-  link_cap_.assign(topo_.num_links(), 0);
-  link_crossing_.assign(topo_.num_links(), 0);
-  for (Flow* f : unfixed) {
-    for (LinkId lid : f->route) {
+    obs::ScopedPhase phase(profiler_, obs::Phase::kFlowRebalance);
+    for (LinkId lid : fill_links_) {
       link_cap_[lid.value()] = topo_.link(lid).bandwidth_bps;
-      ++link_crossing_[lid.value()];
+      link_crossing_[lid.value()] = 0;
     }
-  }
+    for (Flow* f : component_)
+      for (LinkId lid : f->route) ++link_crossing_[lid.value()];
 
-  while (!unfixed.empty()) {
-    // Find the bottleneck link: min fair share among links still crossed
-    // by unfixed flows. The ascending scan with a strict `<` picks the
-    // lowest link id among ties — the same (share, id) order the old
-    // map-based scan enforced explicitly.
-    double best_share = std::numeric_limits<double>::infinity();
-    LinkId::underlying_type best_link = 0;
-    bool found = false;
-    for (std::size_t lid = 0; lid < link_cap_.size(); ++lid) {
-      int n = link_crossing_[lid];
-      if (n <= 0) continue;
-      double share = link_cap_[lid] / n;
-      if (share < best_share) {
-        best_share = share;
-        best_link = static_cast<LinkId::underlying_type>(lid);
-        found = true;
+    progressive_fill(component_, fill_links_, link_cap_, link_crossing_,
+                     realloc_unfixed_, component_rates_);
+
+    // Apply in canonical id order. A flow whose share is unchanged keeps
+    // its progress, its last_update, and its scheduled completion event
+    // — this is the contract that makes incremental and full modes
+    // byte-identical: the full recompute produces the same share for
+    // every flow outside the affected component, so both modes settle
+    // and reschedule the very same flows in the very same order.
+    drained_scratch_.clear();
+    for (std::size_t i = 0; i < component_.size(); ++i) {
+      Flow& f = *component_[i];
+      const double new_rate = component_rates_[i];
+      if (new_rate == f.rate) continue;
+      if (f.rate > 0) {
+        double moved = unsettled_bytes(f, now);
+        f.remaining -= moved;
+        for (LinkId lid : f.route) link_bytes_[lid.value()] += moved;
       }
-    }
-    WCS_CHECK(found);
-
-    // Freeze every unfixed flow crossing the bottleneck at best_share;
-    // compact survivors in place (same order the old copy preserved).
-    std::size_t kept = 0;
-    for (Flow* f : unfixed) {
-      bool hits = std::find_if(f->route.begin(), f->route.end(),
-                               [&](LinkId l) {
-                                 return l.value() == best_link;
-                               }) != f->route.end();
-      if (!hits) {
-        unfixed[kept++] = f;
+      f.last_update = now;
+      f.rate = new_rate;
+      if (f.pending_event.valid()) {
+        sim_.cancel(f.pending_event);
+        f.pending_event = EventId::invalid();
+      }
+      const FlowId fid = f.id;
+      if (f.remaining <= kEpsilonBytes) {
+        // Finished within FP dust of this instant: complete now-ish and
+        // release the flow's share for the next round.
+        f.rate = 0;
+        f.draining = true;
+        f.pending_event = sim_.schedule_in(0, [this, fid] { complete(fid); });
+        drained_scratch_.insert(drained_scratch_.end(), f.route.begin(),
+                                f.route.end());
         continue;
       }
-      f->rate = best_share;
-      for (LinkId lid : f->route) {
-        link_cap_[lid.value()] -= best_share;
-        if (link_cap_[lid.value()] < 0) link_cap_[lid.value()] = 0;
-        --link_crossing_[lid.value()];
-      }
+      WCS_CHECK_MSG(f.rate > 0, "active flow with zero rate");
+      f.pending_event =
+          sim_.schedule_in(f.remaining / f.rate, [this, fid] { complete(fid); });
     }
-    unfixed.resize(kept);
-  }
 
-  // 3. Reschedule completion events at the new rates, in the same
-  // canonical order (event ids break timestamp ties).
-  for (Flow* fp : active) {
-    Flow& f = *fp;
-    const FlowId fid = f.id;
-    if (f.remaining <= kEpsilonBytes) {
-      f.pending_event = sim_.schedule_in(0, [this, fid] { complete(fid); });
-      f.rate = 0;
-      continue;
-    }
-    WCS_CHECK_MSG(f.rate > 0, "active flow with zero rate");
-    f.pending_event =
-        sim_.schedule_in(f.remaining / f.rate, [this, fid] { complete(fid); });
+    if (drained_scratch_.empty()) break;
+    seed_scratch_.swap(drained_scratch_);
   }
 }
 

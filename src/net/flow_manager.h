@@ -6,6 +6,23 @@
 // progressive filling (max-min fairness) and each flow's completion event
 // is rescheduled for its new rate.
 //
+// Reallocation is INCREMENTAL by default (FlowManagerOptions::incremental,
+// CLI --full-realloc for the reference mode): a flow start/finish seeds a
+// dirty set with the links it traverses, the affected connected component
+// of the flow<->link sharing graph is flooded out from those seeds, and
+// progressive filling runs over that component only. Max-min fair shares
+// decompose exactly by connected component, so rates outside the
+// component cannot change; inside it they are recomputed bitwise
+// identically to a from-scratch recompute (the bottleneck scan visits the
+// component's links in ascending id order, the same (share, link-id)
+// order the full scan resolves ties by). A flow is settled — progress
+// credited, completion event rescheduled — only when its rate actually
+// changed, in both modes, so the two modes execute the very same
+// settle/schedule operation sequence and stay byte-identical
+// (tests/test_flow_incremental.cc is the differential proof harness; the
+// `flow-rates` audit checker cross-checks live rates against a
+// from-scratch recompute at every audit epoch).
+//
 // Latency is charged once per flow, up front: a flow spends
 // path_latency(src, dst) in a "connecting" phase during which it consumes
 // no bandwidth, then joins the bandwidth-sharing pool.
@@ -30,12 +47,25 @@ namespace wcs::net {
 
 using FlowCallback = std::function<void(FlowId)>;
 
+struct FlowManagerOptions {
+  // Rebalance only the affected connected component on flow churn
+  // (default). false = recompute every flow's share from scratch on every
+  // change — the reference mode behind the scenario CLI's --full-realloc,
+  // byte-identical by contract (mirrors --flat-index from the sharded
+  // pending-task index).
+  bool incremental = true;
+};
+
 class FlowManager {
  public:
-  FlowManager(sim::Simulator& simulator, const Topology& topology)
-      : sim_(simulator), topo_(topology),
+  FlowManager(sim::Simulator& simulator, const Topology& topology,
+              FlowManagerOptions options = {})
+      : sim_(simulator), topo_(topology), options_(options),
         flows_(FlowMapAlloc(&flow_arena_)),
-        link_bytes_(topology.num_links(), 0) {}
+        link_bytes_(topology.num_links(), 0),
+        link_cap_(topology.num_links(), 0),
+        link_crossing_(topology.num_links(), 0),
+        link_mark_(topology.num_links(), 0) {}
 
   FlowManager(const FlowManager&) = delete;
   FlowManager& operator=(const FlowManager&) = delete;
@@ -66,11 +96,21 @@ class FlowManager {
 
   // Read-only state snapshot for the invariant auditor: per-link
   // allocation vs capacity, per-flow byte progress, and the delivery
-  // ledger (audit::check_flow_conservation).
+  // ledger (audit::check_flow_conservation). Progress is settled
+  // on-the-fly to now(): flows are only byte-settled when their rate
+  // changes, so the stored `remaining` lags the fluid model between rate
+  // changes.
   [[nodiscard]] audit::FlowAuditSnapshot audit_snapshot() const;
 
+  // Stored per-flow rates next to a from-scratch progressive-filling
+  // recompute over the same pool (audit::check_flow_rates). The live
+  // incremental rates must match the recompute bitwise — this is the
+  // invariant the dirty-component reallocation rests on.
+  [[nodiscard]] audit::FlowRatesSnapshot audit_rates_snapshot() const;
+
   // Bytes carried by each link so far (including partial transfers of
-  // cancelled flows).
+  // cancelled flows). Settled at rate changes and flow completion, like
+  // `remaining`.
   [[nodiscard]] double link_bytes(LinkId id) const {
     return link_bytes_.at(id.value());
   }
@@ -87,21 +127,42 @@ class FlowManager {
     FlowId id;
     Route route;             // empty for same-node transfers
     double total = 0;        // payload size at start_flow()
-    double remaining = 0;    // bytes left (double: fluid model)
+    double remaining = 0;    // bytes left as of last_update (fluid model)
     double rate = 0;         // current allocation, bytes/s
     SimTime started = 0;     // when start_flow() was called
     SimTime last_update = 0; // when `remaining` was last settled
     NodeId dst;              // receiving node (trace track)
     bool active = false;     // false during the latency phase
+    bool draining = false;   // remaining hit zero; completion is imminent
+                             // and the flow no longer shares bandwidth
+    std::uint64_t mark = 0;  // dirty-component epoch stamp (scratch)
     EventId pending_event;   // activation or completion event
     FlowCallback on_complete;
   };
 
   void activate(FlowId id);
   void complete(FlowId id);
-  // Settle progress at the current rates, recompute the max-min
-  // allocation, and reschedule completion events.
-  void reallocate();
+
+  // Recompute the max-min allocation after the flow set changed.
+  // `seed_links` are the links traversed by the added/removed flow; in
+  // incremental mode only the connected component reachable from them is
+  // rebalanced, in full mode the seeds are ignored and every pool flow
+  // is refilled. Either way, a flow is settled and its completion event
+  // rescheduled only if its rate changed.
+  void reallocate(const Route& seed_links);
+
+  // Gather the active bandwidth-sharing flows (active, not draining)
+  // into `realloc_order_`, sorted by flow id — the canonical iteration
+  // order for the whole pass.
+  void collect_pool();
+
+  // Flood the sharing graph out from `seeds` (or take the whole pool in
+  // full mode): fills component_ (id-sorted flows whose rate may change)
+  // and fill_links_ (ascending link ids they traverse).
+  void build_component(const std::vector<LinkId>& seeds);
+
+  // Progress credited since the flow's last settle at its current rate.
+  [[nodiscard]] double unsettled_bytes(const Flow& f, SimTime now) const;
 
   // Flow-table nodes recycle through a per-manager arena: flow start /
   // completion churn is the network side's entire allocation traffic.
@@ -115,6 +176,7 @@ class FlowManager {
 
   sim::Simulator& sim_;
   const Topology& topo_;
+  FlowManagerOptions options_;
   common::NodeArena flow_arena_;  // declared before flows_ (dtor order)
   FlowMap flows_;
   std::uint64_t next_flow_ = 0;
@@ -124,15 +186,23 @@ class FlowManager {
   double bytes_delivered_ = 0;
   std::vector<double> link_bytes_;
 
-  // reallocate() scratch, hoisted so the progressive-filling loop runs
-  // allocation-free: the canonical (id-sorted) active-flow order, the
-  // worklist consumed by progressive filling, plus flat per-link
-  // capacity/crossing tables indexed by dense link id (the previous
-  // implementation built two unordered_maps per reallocation).
+  // reallocate() scratch, hoisted so the steady state runs
+  // allocation-free: the canonical (id-sorted) pool, the affected
+  // component and its rate vector, the worklist consumed by progressive
+  // filling, flat per-link capacity/crossing/epoch tables indexed by
+  // dense link id, the ascending candidate-link list the bottleneck scan
+  // walks, and the seed buffers the drain loop recycles.
   std::vector<Flow*> realloc_order_;
-  std::vector<Flow*> realloc_unfixed_;
+  std::vector<Flow*> component_;
+  std::vector<double> component_rates_;
+  std::vector<std::size_t> realloc_unfixed_;
   std::vector<double> link_cap_;
   std::vector<int> link_crossing_;
+  std::vector<std::uint64_t> link_mark_;
+  std::vector<LinkId> fill_links_;
+  std::vector<LinkId> seed_scratch_;
+  std::vector<LinkId> drained_scratch_;
+  std::uint64_t epoch_ = 0;
 
   // Observability (all null when disabled).
   obs::EventTracer* tracer_ = nullptr;

@@ -8,7 +8,8 @@ const char* to_string(Phase phase) {
   switch (phase) {
     case Phase::kEventDispatch: return "event-dispatch";
     case Phase::kSchedulerDecision: return "scheduler-decision";
-    case Phase::kFlowReallocation: return "flow-reallocation";
+    case Phase::kFlowDirtySet: return "flow-dirty-set";
+    case Phase::kFlowRebalance: return "flow-rebalance";
     case Phase::kCacheEviction: return "cache-eviction";
     case Phase::kReporting: return "reporting";
   }

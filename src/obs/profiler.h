@@ -23,11 +23,12 @@ class JsonWriter;
 enum class Phase : std::uint8_t {
   kEventDispatch,      // event-kernel callback execution (everything)
   kSchedulerDecision,  // scheduler hooks: choose/assign/replicate
-  kFlowReallocation,   // max-min bandwidth re-sharing
+  kFlowDirtySet,       // affected-component discovery on flow churn
+  kFlowRebalance,      // max-min progressive filling + rescheduling
   kCacheEviction,      // victim selection + eviction bookkeeping
   kReporting,          // metrics/trace/report emission
 };
-inline constexpr std::size_t kNumPhases = 5;
+inline constexpr std::size_t kNumPhases = 6;
 
 [[nodiscard]] const char* to_string(Phase phase);
 

@@ -21,7 +21,8 @@ struct CliOptions {
   RunOptions run;
   bool list = false;
   bool dump = false;
-  bool flat_index = false;  // --flat-index: reference decision path
+  bool flat_index = false;    // --flat-index: reference decision path
+  bool full_realloc = false;  // --full-realloc: reference flow rebalancing
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -77,11 +78,14 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
       opt.run.trace_out = next();
     } else if (arg == "--flat-index") {
       opt.flat_index = true;
+    } else if (arg == "--full-realloc") {
+      opt.full_realloc = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenario NAME --list-scenarios "
                    "--dump-scenario [NAME]\n         --tasks N --seeds K "
                    "--jobs N --csv PATH --fast --audit\n         --report "
-                   "PATH --no-report --trace-out PATH --flat-index\n";
+                   "PATH --no-report --trace-out PATH --flat-index\n"
+                   "         --full-realloc\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + arg);
@@ -144,6 +148,15 @@ int scenario_main(const std::string& default_scenario, int argc,
     for (Point& pt : spec.points)
       for (sched::SchedulerSpec& s : pt.schedulers)
         s.options.use_sharded_index = false;
+  }
+
+  // --full-realloc: recompute every flow's max-min share from scratch on
+  // each flow start/finish instead of rebalancing only the dirty
+  // component. Totals are byte-identical either way; the escape hatch
+  // exists for A/B timing and for debugging the dirty-set logic itself.
+  if (opt.full_realloc) {
+    spec.base_config.flow.incremental = false;
+    for (Point& pt : spec.points) pt.config.flow.incremental = false;
   }
 
   if (opt.dump) {

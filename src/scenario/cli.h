@@ -22,6 +22,11 @@
 //                     reference scans instead of the sharded pending-task
 //                     index (sched/sharded_index.h); totals are
 //                     byte-identical, only the wall-clock differs
+//   --full-realloc    recompute every flow's max-min share from scratch
+//                     on each flow start/finish instead of rebalancing
+//                     only the dirty component (net/flow_manager.h);
+//                     totals are byte-identical, only the wall-clock
+//                     differs
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1

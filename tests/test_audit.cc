@@ -487,7 +487,7 @@ TEST(AuditIntegration, AuditedRunIsCleanAndSweeps) {
   EXPECT_EQ(r.tasks_completed, 30u);
   ASSERT_NE(sim.auditor(), nullptr);
   EXPECT_GT(sim.auditor()->sweeps(), 2u);
-  EXPECT_EQ(sim.auditor()->num_checkers(), 6u);
+  EXPECT_EQ(sim.auditor()->num_checkers(), 7u);
 }
 
 TEST(AuditIntegration, AuditedResultsAreIdentical) {

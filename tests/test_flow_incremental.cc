@@ -1,0 +1,347 @@
+// Differential proof harness for incremental max-min reallocation.
+//
+// The equivalence contract (net/flow_manager.h): incremental
+// dirty-component rebalancing and the full from-scratch recompute
+// (--full-realloc) are BYTE-IDENTICAL — same rates, same settle points,
+// same completion times, same event-id consumption. This suite drives a
+// mirrored pair of FlowManagers — one per mode, over the same topology —
+// through identical operation sequences and compares every observable
+// bitwise after every operation:
+//
+//   * randomized churn (7 seeds x 2 topology families): start / cancel /
+//     advance over partitioned multi-star platforms (many small
+//     components — the incremental sweet spot) and a shared chain (one
+//     big overlapping component — the flood-logic stress);
+//   * adversarial fixtures: a shared-bottleneck chain with a midstream
+//     cancel, a single-link star with simultaneous completions (event-id
+//     tie-breaking must agree), and zero-byte / same-node edge flows;
+//   * an eviction-churn grid stress: full GridSimulation runs with worker
+//     crashes, cache eviction pressure, and the invariant auditor on
+//     (including the `flow-rates` checker), incremental vs full.
+//
+// "Bitwise" means bitwise: doubles are compared through their bit
+// patterns, not an epsilon.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "audit/checkers.h"
+#include "common/rng.h"
+#include "grid/experiment.h"
+#include "grid/grid_simulation.h"
+#include "net/flow_manager.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "workload/coadd.h"
+
+namespace wcs::net {
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+#define EXPECT_SAME_BITS(a, b) \
+  EXPECT_EQ(bits(a), bits(b)) << #a " = " << (a) << " vs " #b " = " << (b)
+
+// A mirrored FlowManager pair over one shared topology: every operation
+// is applied to both sides, every completion is logged per side, and
+// expect_equivalent() compares the full observable state bitwise.
+struct Mirror {
+  Topology topo;
+  sim::Simulator inc_sim;
+  sim::Simulator full_sim;
+  std::unique_ptr<FlowManager> inc;
+  std::unique_ptr<FlowManager> full;
+  std::vector<std::pair<std::uint64_t, double>> inc_done;
+  std::vector<std::pair<std::uint64_t, double>> full_done;
+
+  void init() {
+    inc = std::make_unique<FlowManager>(inc_sim, topo,
+                                        FlowManagerOptions{.incremental = true});
+    full = std::make_unique<FlowManager>(
+        full_sim, topo, FlowManagerOptions{.incremental = false});
+  }
+
+  FlowId start(NodeId src, NodeId dst, Bytes bytes) {
+    FlowId a = inc->start_flow(src, dst, bytes, [this](FlowId id) {
+      inc_done.emplace_back(id.value(), inc_sim.now());
+    });
+    FlowId b = full->start_flow(src, dst, bytes, [this](FlowId id) {
+      full_done.emplace_back(id.value(), full_sim.now());
+    });
+    EXPECT_EQ(a.value(), b.value());
+    return a;
+  }
+
+  void cancel(FlowId id) {
+    EXPECT_EQ(inc->cancel(id), full->cancel(id));
+  }
+
+  // Advance both sides by one event. The contract implies identical
+  // event streams, so single-stepping keeps the pair in lockstep.
+  bool step() {
+    const bool a = inc_sim.step();
+    const bool b = full_sim.step();
+    EXPECT_EQ(a, b);
+    EXPECT_SAME_BITS(inc_sim.now(), full_sim.now());
+    return a && b;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+    ASSERT_EQ(inc_done.size(), full_done.size());
+    for (std::size_t i = 0; i < inc_done.size(); ++i) {
+      EXPECT_EQ(inc_done[i].first, full_done[i].first) << "completion " << i;
+      EXPECT_SAME_BITS(inc_done[i].second, full_done[i].second);
+    }
+  }
+
+  void expect_equivalent(const char* context) {
+    SCOPED_TRACE(context);
+    EXPECT_EQ(inc_sim.executed_events(), full_sim.executed_events());
+    EXPECT_EQ(inc->active_flows(), full->active_flows());
+    EXPECT_EQ(inc->completed_flows(), full->completed_flows());
+    EXPECT_EQ(inc->cancelled_flows(), full->cancelled_flows());
+    EXPECT_SAME_BITS(inc->bytes_started(), full->bytes_started());
+    EXPECT_SAME_BITS(inc->bytes_delivered(), full->bytes_delivered());
+
+    const audit::FlowAuditSnapshot a = inc->audit_snapshot();
+    const audit::FlowAuditSnapshot b = full->audit_snapshot();
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t i = 0; i < a.flows.size(); ++i) {
+      SCOPED_TRACE("flow " + std::to_string(a.flows[i].id));
+      EXPECT_EQ(a.flows[i].id, b.flows[i].id);
+      EXPECT_EQ(a.flows[i].active, b.flows[i].active);
+      EXPECT_SAME_BITS(a.flows[i].total_bytes, b.flows[i].total_bytes);
+      EXPECT_SAME_BITS(a.flows[i].remaining_bytes, b.flows[i].remaining_bytes);
+      EXPECT_SAME_BITS(a.flows[i].rate_bps, b.flows[i].rate_bps);
+    }
+    ASSERT_EQ(a.links.size(), b.links.size());
+    for (std::size_t i = 0; i < a.links.size(); ++i) {
+      SCOPED_TRACE("link " + std::to_string(i));
+      EXPECT_EQ(a.links[i].flows, b.links[i].flows);
+      EXPECT_SAME_BITS(a.links[i].allocated_bps, b.links[i].allocated_bps);
+      EXPECT_SAME_BITS(
+          inc->link_bytes(LinkId(static_cast<LinkId::underlying_type>(i))),
+          full->link_bytes(LinkId(static_cast<LinkId::underlying_type>(i))));
+    }
+
+    // The induction invariant on the incremental side: every live rate
+    // equals what a from-scratch fill would produce, bitwise. This is
+    // exactly what the `flow-rates` audit checker enforces in-sim.
+    std::vector<audit::Violation> violations;
+    audit::check_flow_rates(inc->audit_rates_snapshot(), violations);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front().message);
+  }
+};
+
+// --- Randomized churn, partitioned multi-star -----------------------------
+
+class FlowDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowDifferential, RandomChurnOnMultiStarStaysBitIdentical) {
+  // 4 disjoint hub-and-leaf stars: flows never cross stars, so the
+  // sharing graph always has several connected components and the
+  // incremental path genuinely rebalances a strict subset of the pool.
+  Rng rng(GetParam());
+  Mirror m;
+  const int kHubs = 4, kLeaves = 4;
+  std::vector<std::vector<NodeId>> leaves(kHubs);
+  for (int h = 0; h < kHubs; ++h) {
+    NodeId hub = m.topo.add_node("hub");
+    for (int l = 0; l < kLeaves; ++l) {
+      leaves[h].push_back(m.topo.add_node("leaf"));
+      m.topo.add_link(hub, leaves[h].back(), rng.uniform_real(1e5, 1e7),
+                      rng.uniform_real(0.0, 0.01));
+    }
+  }
+  m.init();
+
+  std::vector<FlowId> live;
+  for (int op = 0; op < 80; ++op) {
+    const std::size_t kind = rng.index(5);
+    if (kind <= 1 || live.empty()) {
+      const std::size_t h = rng.index(kHubs);
+      const std::size_t s = rng.index(kLeaves);
+      std::size_t d = rng.index(kLeaves);
+      // ~1 in 10 flows is a same-node transfer; ~1 in 10 is zero-byte.
+      if (rng.index(10) != 0)
+        while (d == s) d = rng.index(kLeaves);
+      const Bytes bytes =
+          rng.index(10) == 0
+              ? 0u
+              : static_cast<Bytes>(rng.uniform_int(1'000, 50'000'000));
+      live.push_back(m.start(leaves[h][s], leaves[h][d], bytes));
+    } else if (kind == 2) {
+      const std::size_t victim = rng.index(live.size());
+      m.cancel(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::size_t steps = 1 + rng.index(3);
+      for (std::size_t i = 0; i < steps; ++i)
+        if (!m.step()) break;
+    }
+    m.expect_equivalent("after op");
+  }
+  m.run_all();
+  m.expect_equivalent("after drain");
+}
+
+TEST_P(FlowDifferential, RandomChurnOnSharedChainStaysBitIdentical) {
+  // One 8-node chain with a thin middle link: flows span random
+  // overlapping segments, so most of the pool collapses into a single
+  // shared component and the dirty-set flood has to do real work.
+  Rng rng(GetParam());
+  Mirror m;
+  const int kNodes = 8;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(m.topo.add_node("n"));
+  for (int i = 0; i + 1 < kNodes; ++i) {
+    const double cap = i == kNodes / 2 ? 2e5 : rng.uniform_real(1e6, 1e7);
+    m.topo.add_link(nodes[i], nodes[i + 1], cap, 0.0);
+  }
+  m.init();
+
+  std::vector<FlowId> live;
+  for (int op = 0; op < 60; ++op) {
+    const std::size_t kind = rng.index(5);
+    if (kind <= 1 || live.empty()) {
+      const std::size_t s = rng.index(kNodes);
+      std::size_t d = rng.index(kNodes);
+      while (d == s) d = rng.index(kNodes);
+      live.push_back(m.start(
+          nodes[s], nodes[d],
+          static_cast<Bytes>(rng.uniform_int(10'000, 20'000'000))));
+    } else if (kind == 2) {
+      const std::size_t victim = rng.index(live.size());
+      m.cancel(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::size_t steps = 1 + rng.index(3);
+      for (std::size_t i = 0; i < steps; ++i)
+        if (!m.step()) break;
+    }
+    m.expect_equivalent("after op");
+  }
+  m.run_all();
+  m.expect_equivalent("after drain");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowDifferential,
+                         ::testing::Range<std::uint64_t>(1, 8));
+
+// --- Adversarial fixtures -------------------------------------------------
+
+TEST(FlowDifferentialFixtures, SharedBottleneckChainWithMidstreamCancel) {
+  // a --10MB/s-- b --1MB/s-- c --10MB/s-- d; four overlapping flows all
+  // contend on the thin b-c link. Cancelling the b->c flow midstream
+  // re-seeds the component from the released route; rates, settle points
+  // and completions must track the full recompute bitwise.
+  Mirror m;
+  NodeId a = m.topo.add_node("a");
+  NodeId b = m.topo.add_node("b");
+  NodeId c = m.topo.add_node("c");
+  NodeId d = m.topo.add_node("d");
+  m.topo.add_link(a, b, 1e7, 0.0);
+  m.topo.add_link(b, c, 1e6, 0.0);
+  m.topo.add_link(c, d, 1e7, 0.0);
+  m.init();
+
+  m.start(a, d, 8'000'000);
+  FlowId victim = m.start(b, c, 6'000'000);
+  m.start(c, d, 4'000'000);
+  m.start(a, b, 2'000'000);
+  // Consume the four t=0 activations, then let some progress accrue.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(m.step());
+  m.expect_equivalent("after activations");
+  m.cancel(victim);
+  m.expect_equivalent("after cancel");
+  m.run_all();
+  m.expect_equivalent("after drain");
+}
+
+TEST(FlowDifferentialFixtures, SingleLinkStarSimultaneousCompletions) {
+  // Four identical flows on one link finish at the same instant: the
+  // event kernel breaks the tie by event id, so identical completion
+  // ORDER across modes requires identical event-id consumption — the
+  // strictest consequence of the settle-only-on-rate-change discipline.
+  Mirror m;
+  NodeId a = m.topo.add_node("a");
+  NodeId b = m.topo.add_node("b");
+  NodeId e = m.topo.add_node("e");
+  NodeId f = m.topo.add_node("f");
+  m.topo.add_link(a, b, 1e6, 0.0);
+  m.topo.add_link(e, f, 2e6, 0.0);
+  m.init();
+
+  for (int i = 0; i < 4; ++i) m.start(a, b, 1'000'000);
+  m.run_all();
+  m.expect_equivalent("after batch");
+  ASSERT_EQ(m.inc_done.size(), 4u);
+  // All four completed at the same simulated instant, in id order.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.inc_done[i].first, i);
+    EXPECT_SAME_BITS(m.inc_done[i].second, m.inc_done[0].second);
+  }
+
+  // Second wave: a disjoint-link flow sized to finish simultaneously
+  // with a shared-link pair (same double instant, different links).
+  m.start(a, b, 1'000'000);
+  m.start(a, b, 1'000'000);  // shared: each at 0.5 MB/s -> t = +2
+  m.start(e, f, 4'000'000);  // alone at 2 MB/s -> t = +2
+  m.run_all();
+  m.expect_equivalent("after second wave");
+}
+
+// --- Grid-level eviction-churn stress under the auditor -------------------
+
+TEST(FlowDifferentialGrid, EvictionChurnRunsBitIdenticalUnderAudit) {
+  // Full GridSimulation differential: small caches force eviction, worker
+  // crashes force batch cancellation (flows aborted midstream), and the
+  // invariant auditor sweeps every 500 events — including the
+  // `flow-rates` checker, which recomputes every live rate from scratch
+  // and demands bitwise equality with the incremental allocation. The
+  // run totals of both modes must agree exactly, scheduler by scheduler.
+  workload::CoaddParams cp;
+  cp.num_tasks = 200;
+  cp.seed = 9;
+  auto job = workload::generate_coadd(cp);
+
+  grid::GridConfig base;
+  base.tiers.num_sites = 3;
+  base.tiers.workers_per_site = 4;
+  base.capacity_files = 2500;  // tight: sustained eviction pressure
+  base.churn = grid::GridConfig::ChurnParams{
+      .mean_uptime_s = 20000.0, .mean_downtime_s = 2000.0, .seed = 17};
+  base.audit = true;
+  base.audit_interval_events = 500;
+
+  for (const auto& spec : sched::SchedulerSpec::paper_algorithms()) {
+    SCOPED_TRACE(spec.name());
+    grid::GridConfig c = base;
+    c.flow.incremental = true;
+    const auto inc = grid::run_once(c, job, spec, /*seed=*/5);
+    c.flow.incremental = false;
+    const auto full = grid::run_once(c, job, spec, /*seed=*/5);
+
+    EXPECT_SAME_BITS(inc.makespan_s, full.makespan_s);
+    EXPECT_EQ(inc.tasks_completed, full.tasks_completed);
+    EXPECT_EQ(inc.events_executed, full.events_executed);
+    EXPECT_EQ(inc.total_file_transfers(), full.total_file_transfers());
+    EXPECT_SAME_BITS(inc.total_bytes_transferred(),
+                     full.total_bytes_transferred());
+  }
+}
+
+}  // namespace
+}  // namespace wcs::net

