@@ -182,6 +182,75 @@ void check_task_lifecycle(const TaskLifecycleSnapshot& snap,
     out.push_back(Violation{"task-lifecycle", defect});
 }
 
+void check_tenant_accounting(const TenantAccountingSnapshot& snap,
+                             std::vector<Violation>& out) {
+  std::uint64_t sum_tasks = 0;
+  std::uint64_t sum_assigned = 0;
+  std::uint64_t sum_completions = 0;
+  for (const TenantAccounting& t : snap.tenants) {
+    sum_tasks += t.tasks;
+    sum_assigned += t.assigned;
+    sum_completions += t.completions;
+    if (t.arrived > t.tasks) {
+      std::ostringstream os;
+      os << "tenant " << t.name << ": " << t.arrived << " arrivals for "
+         << t.tasks << " tasks";
+      report(out, "tenant-accounting", os);
+    }
+    if (t.completions > t.arrived) {
+      std::ostringstream os;
+      os << "tenant " << t.name << ": " << t.completions
+         << " completions but only " << t.arrived << " arrivals";
+      report(out, "tenant-accounting", os);
+    }
+    if (t.assigned != t.completions + t.cancelled + t.live) {
+      std::ostringstream os;
+      os << "tenant " << t.name << ": assigned " << t.assigned
+         << " != completions " << t.completions << " + cancelled "
+         << t.cancelled << " + live " << t.live;
+      report(out, "tenant-accounting", os);
+    }
+    if (snap.at_drain) {
+      if (t.arrived != t.tasks) {
+        std::ostringstream os;
+        os << "tenant " << t.name << ": " << t.tasks - t.arrived
+           << " tasks never arrived at drain";
+        report(out, "tenant-accounting", os);
+      }
+      if (t.completions != t.tasks) {
+        std::ostringstream os;
+        os << "tenant " << t.name << ": " << t.completions << " of "
+           << t.tasks << " tasks completed at drain";
+        report(out, "tenant-accounting", os);
+      }
+      if (t.live != 0) {
+        std::ostringstream os;
+        os << "tenant " << t.name << ": " << t.live
+           << " instances still placed at drain";
+        report(out, "tenant-accounting", os);
+      }
+    }
+  }
+  if (sum_tasks != snap.total_tasks) {
+    std::ostringstream os;
+    os << "tenant task counts sum to " << sum_tasks << " but the job has "
+       << snap.total_tasks;
+    report(out, "tenant-accounting", os);
+  }
+  if (sum_assigned != snap.total_assignments) {
+    std::ostringstream os;
+    os << "tenant assignment ledgers sum to " << sum_assigned
+       << " != engine assignment counter " << snap.total_assignments;
+    report(out, "tenant-accounting", os);
+  }
+  if (sum_completions != snap.total_completions) {
+    std::ostringstream os;
+    os << "tenant completion ledgers sum to " << sum_completions
+       << " != engine completion counter " << snap.total_completions;
+    report(out, "tenant-accounting", os);
+  }
+}
+
 void check_event_kernel(const EventKernelSnapshot& snap,
                         std::vector<Violation>& out) {
   if (snap.now < snap.previous_now) {

@@ -130,6 +130,33 @@ struct TaskLifecycleSnapshot {
 void check_task_lifecycle(const TaskLifecycleSnapshot& snap,
                           std::vector<Violation>& out);
 
+// Per-tenant conservation over the open-system arrival/assignment
+// ledgers (control plane, open runs only). Laws:
+//   arrived <= tasks; completions <= arrived; assignment needs arrival;
+//   assigned == completions + cancelled + live (instances still placed);
+//   per-tenant sums == the engine-wide counters;
+//   at drain: arrived == tasks, completions == tasks, live == 0.
+struct TenantAccounting {
+  std::string name;
+  std::uint64_t tasks = 0;
+  std::uint64_t arrived = 0;
+  std::uint64_t assigned = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t live = 0;  // instances currently placed, recounted
+};
+
+struct TenantAccountingSnapshot {
+  std::vector<TenantAccounting> tenants;
+  std::uint64_t total_tasks = 0;        // job size
+  std::uint64_t total_assignments = 0;  // engine-wide assignment counter
+  std::uint64_t total_completions = 0;  // engine-wide completion counter
+  bool at_drain = false;
+};
+
+void check_tenant_accounting(const TenantAccountingSnapshot& snap,
+                             std::vector<Violation>& out);
+
 // --- (d) event-kernel sanity --------------------------------------------
 
 struct EventKernelSnapshot {

@@ -16,6 +16,29 @@
 
 namespace wcs {
 
+// SplitMix64 finalizer: the standard strong 64-bit mixing function.
+// Used by substream_seed() below; also a decent standalone hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d4a94d7ee9e8d1ULL;
+  return x ^ (x >> 31);
+}
+
+// Derive the seed of substream `stream` from a root seed.
+//
+// This is the stream-hygiene primitive for multi-tenant workloads:
+// each tenant k seeds its own Rng from substream_seed(root, k), so the
+// draw sequence of tenant k depends only on (root, k) — adding tenant
+// N+1, or drawing more from one tenant's stream, never perturbs
+// tenants 1..N. Contrast with Rng::fork(), where each fork consumes a
+// draw from the parent and therefore shifts every later fork.
+[[nodiscard]] constexpr std::uint64_t substream_seed(std::uint64_t root,
+                                                     std::uint64_t stream) {
+  // Two mixing rounds keep root/stream from cancelling via the xor.
+  return splitmix64(splitmix64(root) ^ splitmix64(~stream));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

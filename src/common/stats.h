@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <limits>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -81,6 +82,73 @@ class RunningStats {
   double frac = rank - static_cast<double>(lo);
   return values[lo] * (1 - frac) + values[hi] * frac;
 }
+
+// Jain's fairness index over per-party allocations:
+//   J(x) = (sum x_i)^2 / (n * sum x_i^2),  J in [1/n, 1].
+// J == 1 iff every party received the same allocation; J -> 1/n as one
+// party monopolizes. Degenerate inputs (empty, single party, all-zero)
+// are perfectly fair by convention and return 1.0, so a closed
+// single-tenant run always reports J == 1.
+[[nodiscard]] inline double jain_fairness_index(std::span<const double> xs) {
+  if (xs.size() <= 1) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (double x : xs) {
+    WCS_CHECK_MSG(x >= 0, "negative allocation " << x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0) return 1.0;  // all-zero: nobody is ahead of anybody
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+// Per-group sample sets with exact percentiles and an associative merge.
+// This is the per-tenant accumulator behind the schema-v2 report
+// sections: group = tenant index, samples = per-task sojourn times.
+// merge() concatenates sample sets; because percentile() sorts, every
+// merge order yields identical quantiles (the property test for this
+// lives in tests/test_stats.cc).
+class GroupedSamples {
+ public:
+  explicit GroupedSamples(std::size_t groups = 0) : groups_(groups) {}
+
+  void add(std::size_t group, double value) {
+    WCS_CHECK(group < groups_.size());
+    groups_[group].push_back(value);
+  }
+
+  void merge(const GroupedSamples& other) {
+    if (groups_.size() < other.groups_.size())
+      groups_.resize(other.groups_.size());
+    for (std::size_t g = 0; g < other.groups_.size(); ++g)
+      groups_[g].insert(groups_[g].end(), other.groups_[g].begin(),
+                        other.groups_[g].end());
+  }
+
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t g) const {
+    return groups_.at(g).size();
+  }
+  [[nodiscard]] double mean_of(std::size_t g) const {
+    const std::vector<double>& v = groups_.at(g);
+    if (v.empty()) return 0.0;
+    double sum = 0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+  }
+  // Percentile of group g's samples (empty group -> 0, so reports stay
+  // finite for tenants that completed nothing).
+  [[nodiscard]] double percentile_of(std::size_t g, double p) const {
+    const std::vector<double>& v = groups_.at(g);
+    return v.empty() ? 0.0 : percentile(v, p);
+  }
+  [[nodiscard]] const std::vector<double>& samples(std::size_t g) const {
+    return groups_.at(g);
+  }
+
+ private:
+  std::vector<std::vector<double>> groups_;
+};
 
 // Empirical survival curve over integer counts: fraction of observations
 // whose value is >= k, for each distinct k. This is exactly the

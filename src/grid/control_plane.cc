@@ -5,16 +5,19 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/stats.h"
 
 namespace wcs::grid {
 
 ControlPlane::ControlPlane(const GridConfig& config, const workload::Job& job,
+                           const workload::ArrivalSchedule* arrivals,
                            const net::GridTopology& topo, sim::Simulator& sim,
                            DataPlane& data, sched::Scheduler& scheduler,
                            std::vector<double> mflops_estimate_error,
                            Hooks hooks)
     : config_(config),
       job_(job),
+      arrivals_(arrivals),
       sim_(sim),
       data_(data),
       scheduler_(scheduler),
@@ -41,10 +44,65 @@ ControlPlane::ControlPlane(const GridConfig& config, const workload::Job& job,
   completed_.assign(job_.num_tasks(), 0);
   instances_.assign(job_.num_tasks(), {});
   completion_counts_.assign(job_.num_tasks(), 0);
+
+  if (arrivals_ != nullptr) {
+    arrived_.assign(job_.num_tasks(), 0);
+    completion_time_.assign(job_.num_tasks(), -1.0);
+    tenants_.assign(arrivals_->num_tenants(), TenantLedger{});
+    for (std::size_t t = 0; t < tenants_.size(); ++t)
+      tenants_[t].first_arrival_s = workload::kNeverArrives;
+    for (std::size_t i = 0; i < job_.num_tasks(); ++i) {
+      const TaskId id(static_cast<TaskId::underlying_type>(i));
+      TenantLedger& ledger = tenants_[tenant_of(id)];
+      ++ledger.tasks;
+      const double at = arrivals_->arrival(id);
+      ledger.first_arrival_s = std::min(ledger.first_arrival_s, at);
+      if (at <= 0) {
+        arrived_[i] = 1;
+        ++ledger.arrived;
+      }
+    }
+  }
 }
 
 void ControlPlane::start() {
+  // Open-system arrivals: one event per distinct positive arrival time,
+  // delivering that time's batch (ascending task ids) to the scheduler.
+  // Scheduled before the worker pull loop so same-timestamp ties resolve
+  // arrival-first, deterministically.
+  if (arrivals_ != nullptr) {
+    std::vector<std::pair<double, TaskId>> timed;
+    for (std::size_t i = 0; i < job_.num_tasks(); ++i) {
+      const TaskId id(static_cast<TaskId::underlying_type>(i));
+      const double at = arrivals_->arrival(id);
+      if (at > 0) timed.emplace_back(at, id);
+    }
+    // Stable: ids stay ascending within one arrival instant.
+    std::stable_sort(timed.begin(), timed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (std::size_t lo = 0; lo < timed.size();) {
+      std::size_t hi = lo;
+      while (hi < timed.size() && timed[hi].first == timed[lo].first) ++hi;
+      std::vector<TaskId> batch;
+      batch.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) batch.push_back(timed[i].second);
+      sim_.schedule_at(timed[lo].first,
+                       [this, batch = std::move(batch)] { arrive(batch); });
+      lo = hi;
+    }
+  }
   for (WorkerRuntime& rt : workers_) go_idle(rt.info.id);
+}
+
+void ControlPlane::arrive(const std::vector<TaskId>& batch) {
+  for (TaskId t : batch) {
+    WCS_CHECK_MSG(!arrived_[t.value()], "task " << t << " arrived twice");
+    arrived_[t.value()] = 1;
+    ++tenants_[tenant_of(t)].arrived;
+  }
+  scheduler_.on_tasks_arrived(batch);
 }
 
 SiteId ControlPlane::site_of(WorkerId worker) const {
@@ -97,6 +155,13 @@ void ControlPlane::assign_task(TaskId task, WorkerId worker) {
                 "assignment to offline worker " << worker);
   WCS_CHECK_MSG(!has_instance(task, worker),
                 "task " << task << " already placed on worker " << worker);
+  if (arrivals_ != nullptr) {
+    WCS_CHECK_MSG(arrived_[task.value()],
+                  "task " << task << " assigned before its arrival");
+    TenantLedger& ledger = tenants_[tenant_of(task)];
+    ++ledger.assigned;
+    if (ledger.first_assignment_s < 0) ledger.first_assignment_s = sim_.now();
+  }
 
   if (!instances_[task.value()].empty()) ++replicas_started_;
   instances_[task.value()].push_back(worker);
@@ -165,6 +230,12 @@ void ControlPlane::finish_task(WorkerId worker, TaskId task) {
   ++completed_count_;
   last_completion_ = sim_.now();
   ++completion_counts_[task.value()];
+  if (arrivals_ != nullptr) {
+    completion_time_[task.value()] = sim_.now();
+    TenantLedger& ledger = tenants_[tenant_of(task)];
+    ++ledger.completions;
+    ledger.last_completion_s = sim_.now();
+  }
   audit_max_completion_ = std::max(audit_max_completion_, sim_.now());
   trace(metrics::TimelineEventKind::kCompleted, task, worker);
   if (completed_count_ == job_.num_tasks() && hooks_.on_all_tasks_completed)
@@ -189,6 +260,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
     WCS_CHECK_MSG(cancelled, "fetching task had no batch at the data server");
     inst.erase_value(worker);
     ++replicas_cancelled_;
+    note_instance_dropped(task);
     trace(metrics::TimelineEventKind::kCancelled, task, worker);
     go_idle(worker);
     return true;
@@ -199,6 +271,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
     data_.release(rt.info.site, task, worker);
     inst.erase_value(worker);
     ++replicas_cancelled_;
+    note_instance_dropped(task);
     trace(metrics::TimelineEventKind::kCancelled, task, worker);
     go_idle(worker);
     return true;
@@ -209,6 +282,7 @@ bool ControlPlane::cancel_task(TaskId task, WorkerId worker) {
   rt.queue.erase(qit);
   inst.erase_value(worker);
   ++replicas_cancelled_;
+    note_instance_dropped(task);
   trace(metrics::TimelineEventKind::kCancelled, task, worker);
   return true;
 }
@@ -252,6 +326,7 @@ std::vector<TaskId> ControlPlane::withdraw_worker(WorkerId worker) {
   rt.current = TaskId::invalid();
   for (TaskId t : lost) {
     instances_[t.value()].erase_value(worker);
+    note_instance_dropped(t);
     trace(metrics::TimelineEventKind::kCancelled, t, worker);
   }
   rt.state = WorkerPhase::kOffline;
@@ -265,6 +340,78 @@ void ControlPlane::mark_online(WorkerId worker) {
 }
 
 void ControlPlane::resume_worker(WorkerId worker) { go_idle(worker); }
+
+std::vector<metrics::TenantResult> ControlPlane::tenant_results() const {
+  std::vector<metrics::TenantResult> out;
+  if (arrivals_ == nullptr) return out;
+
+  GroupedSamples sojourns(tenants_.size());
+  for (std::size_t i = 0; i < job_.num_tasks(); ++i) {
+    if (completion_time_[i] < 0) continue;
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    sojourns.add(tenant_of(id), completion_time_[i] - arrivals_->arrival(id));
+  }
+
+  out.reserve(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantLedger& ledger = tenants_[t];
+    metrics::TenantResult r;
+    if (t < arrivals_->tenants.size()) {
+      r.name = arrivals_->tenants[t].name;
+      r.weight = arrivals_->tenants[t].weight;
+    } else {
+      r.name = "tenant" + std::to_string(t);
+    }
+    r.tasks = ledger.tasks;
+    r.completed = ledger.completions;
+    r.first_arrival_s = ledger.tasks == 0 ? 0.0 : ledger.first_arrival_s;
+    if (ledger.first_assignment_s >= 0)
+      r.time_to_first_task_s =
+          ledger.first_assignment_s - r.first_arrival_s;
+    if (ledger.completions > 0)
+      r.makespan_s = ledger.last_completion_s - r.first_arrival_s;
+    r.sojourn_mean_s = sojourns.mean_of(t);
+    r.sojourn_p50_s = sojourns.percentile_of(t, 50);
+    r.sojourn_p95_s = sojourns.percentile_of(t, 95);
+    r.sojourn_p99_s = sojourns.percentile_of(t, 99);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+audit::TenantAccountingSnapshot ControlPlane::tenant_snapshot(
+    bool at_drain) const {
+  WCS_CHECK(arrivals_ != nullptr);
+  audit::TenantAccountingSnapshot snap;
+  snap.total_tasks = job_.num_tasks();
+  snap.total_assignments = assignments_;
+  snap.total_completions = completed_count_;
+  snap.at_drain = at_drain;
+
+  // Live placements recounted from the instances table, independently of
+  // the ledgers the checker validates.
+  std::vector<std::uint64_t> live(tenants_.size(), 0);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const TaskId id(static_cast<TaskId::underlying_type>(i));
+    live[tenant_of(id)] += instances_[i].size();
+  }
+
+  snap.tenants.reserve(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantLedger& ledger = tenants_[t];
+    audit::TenantAccounting acc;
+    acc.name = t < arrivals_->tenants.size() ? arrivals_->tenants[t].name
+                                             : "tenant" + std::to_string(t);
+    acc.tasks = ledger.tasks;
+    acc.arrived = ledger.arrived;
+    acc.assigned = ledger.assigned;
+    acc.completions = ledger.completions;
+    acc.cancelled = ledger.cancelled;
+    acc.live = live[t];
+    snap.tenants.push_back(std::move(acc));
+  }
+  return snap;
+}
 
 audit::TaskLifecycleSnapshot ControlPlane::lifecycle_snapshot(
     bool at_drain) const {

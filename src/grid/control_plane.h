@@ -35,10 +35,12 @@
 #include "compute/capacity.h"
 #include "grid/config.h"
 #include "grid/data_plane.h"
+#include "metrics/results.h"
 #include "metrics/timeline.h"
 #include "net/tiers.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "workload/arrivals.h"
 #include "workload/job.h"
 
 namespace wcs::grid {
@@ -67,8 +69,14 @@ class ControlPlane {
   // All references must outlive the plane. Worker speeds are sampled
   // here (top500/100, Sec. 5.2) from config.effective_speed_seed();
   // `mflops_estimate_error` is the per-site multiplicative error applied
-  // to estimated_site_mflops() (empty = exact).
+  // to estimated_site_mflops() (empty = exact). `arrivals` is the
+  // open-system schedule, or nullptr for the closed batch — when set,
+  // start() turns every positive arrival time into a simulation event
+  // delivering that batch to the scheduler, and the plane keeps
+  // per-tenant conservation ledgers plus per-task completion times for
+  // the tenant metrics.
   ControlPlane(const GridConfig& config, const workload::Job& job,
+               const workload::ArrivalSchedule* arrivals,
                const net::GridTopology& topo, sim::Simulator& sim,
                DataPlane& data, sched::Scheduler& scheduler,
                std::vector<double> mflops_estimate_error, Hooks hooks);
@@ -119,10 +127,19 @@ class ControlPlane {
     return replicas_cancelled_;
   }
 
+  // Per-tenant results for open-system runs (empty for closed runs):
+  // completed counts, time-to-first-task, tenant makespan, and sojourn
+  // (completion - arrival) percentiles.
+  [[nodiscard]] std::vector<metrics::TenantResult> tenant_results() const;
+
   // --- Invariant auditing -----------------------------------------------
   // Snapshot of the task/placement ledgers for the task-lifecycle
   // checker; `at_drain` asserts the stronger end-of-run laws.
   [[nodiscard]] audit::TaskLifecycleSnapshot lifecycle_snapshot(
+      bool at_drain) const;
+  // Per-tenant assigned/completed/cancelled/in-flight conservation
+  // snapshot for the tenant-accounting checker (open-system runs only).
+  [[nodiscard]] audit::TenantAccountingSnapshot tenant_snapshot(
       bool at_drain) const;
   [[nodiscard]] SimTime audit_max_completion() const {
     return audit_max_completion_;
@@ -142,13 +159,40 @@ class ControlPlane {
     if (hooks_.trace) hooks_.trace(kind, task, worker);
   }
   void go_idle(WorkerId worker);
+  // Arrival-event body: marks the batch arrived, then hands it to the
+  // scheduler (open-system runs only).
+  void arrive(const std::vector<TaskId>& batch);
   void start_next(WorkerId worker);
   void files_ready(WorkerId worker, TaskId task);
   void finish_task(WorkerId worker, TaskId task);
   [[nodiscard]] bool has_instance(TaskId task, WorkerId worker) const;
 
+  // Per-tenant conservation ledger (open-system runs; indexed by tenant).
+  struct TenantLedger {
+    std::uint64_t tasks = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t assigned = 0;
+    std::uint64_t completions = 0;  // finish events (one per task)
+    std::uint64_t cancelled = 0;    // replica cancels + crash withdrawals
+    double first_arrival_s = 0;
+    double first_assignment_s = -1;  // -1 until the first assignment
+    double last_completion_s = 0;
+  };
+
+  [[nodiscard]] std::uint32_t tenant_of(TaskId task) const {
+    return arrivals_ == nullptr ? 0 : arrivals_->tenant(task);
+  }
+
+  // Every instance removal that is not a completion (replica cancel,
+  // crash withdrawal) must hit the tenant ledger or the conservation law
+  // assigned == completions + cancelled + live breaks.
+  void note_instance_dropped(TaskId task) {
+    if (arrivals_ != nullptr) ++tenants_[tenant_of(task)].cancelled;
+  }
+
   const GridConfig& config_;
   const workload::Job& job_;
+  const workload::ArrivalSchedule* arrivals_ = nullptr;  // closed batch
   sim::Simulator& sim_;
   DataPlane& data_;
   sched::Scheduler& scheduler_;
@@ -170,6 +214,10 @@ class ControlPlane {
   std::vector<std::uint32_t> completion_counts_;  // by task id
   SimTime audit_max_completion_ = 0;
   std::vector<double> mflops_estimate_error_;  // per site; empty if exact
+  // Open-system state (allocated only when arrivals_ != nullptr).
+  std::vector<char> arrived_;            // by task id
+  std::vector<double> completion_time_;  // by task id; -1 = not completed
+  std::vector<TenantLedger> tenants_;
 };
 
 }  // namespace wcs::grid

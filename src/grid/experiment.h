@@ -18,6 +18,7 @@
 #include "grid/grid_simulation.h"
 #include "metrics/results.h"
 #include "sched/factory.h"
+#include "workload/arrivals.h"
 #include "workload/job.h"
 
 namespace wcs::grid {
@@ -58,6 +59,34 @@ namespace wcs::grid {
 // caller's thread, in spec order). `jobs` as in run_averaged().
 [[nodiscard]] std::vector<metrics::AveragedResult> run_matrix(
     const GridConfig& config, const workload::Job& job,
+    std::span<const sched::SchedulerSpec> specs,
+    std::span<const std::uint64_t> topology_seeds,
+    const std::function<void(const std::string&)>& progress = {},
+    std::size_t jobs = 1);
+
+// --- Open-system (Workload) forms ---------------------------------------
+// Same protocol over a workload::Workload (job + arrival schedule). The
+// scheduler is built workload-aware (sched::make_scheduler(spec,
+// arrivals)): multi-tenant schedules get the WRR tenant layer, closed
+// workloads take exactly the Job paths above — byte-identical results.
+
+[[nodiscard]] metrics::RunResult run_once(const GridConfig& config,
+                                          const workload::Workload& workload,
+                                          const sched::SchedulerSpec& spec,
+                                          std::uint64_t topology_seed);
+
+[[nodiscard]] std::vector<metrics::RunResult> run_seeds(
+    const GridConfig& config, const workload::Workload& workload,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs = 1);
+
+[[nodiscard]] metrics::AveragedResult run_averaged(
+    const GridConfig& config, const workload::Workload& workload,
+    const sched::SchedulerSpec& spec,
+    std::span<const std::uint64_t> topology_seeds, std::size_t jobs = 1);
+
+[[nodiscard]] std::vector<metrics::AveragedResult> run_matrix(
+    const GridConfig& config, const workload::Workload& workload,
     std::span<const sched::SchedulerSpec> specs,
     std::span<const std::uint64_t> topology_seeds,
     const std::function<void(const std::string&)>& progress = {},

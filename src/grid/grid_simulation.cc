@@ -13,8 +13,22 @@ namespace wcs::grid {
 GridSimulation::GridSimulation(const GridConfig& config,
                                const workload::Job& job,
                                std::unique_ptr<sched::Scheduler> scheduler)
+    : GridSimulation(config, job, nullptr, std::move(scheduler)) {}
+
+GridSimulation::GridSimulation(const GridConfig& config,
+                               const workload::Workload& workload,
+                               std::unique_ptr<sched::Scheduler> scheduler)
+    : GridSimulation(config, workload.job,
+                     workload.open() ? &workload.arrivals : nullptr,
+                     std::move(scheduler)) {}
+
+GridSimulation::GridSimulation(const GridConfig& config,
+                               const workload::Job& job,
+                               const workload::ArrivalSchedule* arrivals,
+                               std::unique_ptr<sched::Scheduler> scheduler)
     : config_(config),
       job_(job),
+      arrivals_(arrivals),
       scheduler_(std::move(scheduler)),
       grid_topo_(net::build_tiers_topology(config.tiers)) {
   WCS_CHECK(scheduler_ != nullptr);
@@ -59,8 +73,9 @@ GridSimulation::GridSimulation(const GridConfig& config,
     if (fault_) fault_->stop();
   };
   const FaultPlane::TraceFn fault_trace = hooks.trace;
-  control_ = std::make_unique<ControlPlane>(config_, job_, grid_topo_, sim_,
-                                            *data_, *scheduler_,
+  control_ = std::make_unique<ControlPlane>(config_, job_, arrivals_,
+                                            grid_topo_, sim_, *data_,
+                                            *scheduler_,
                                             std::move(mflops_error),
                                             std::move(hooks));
   if (config_.churn)
@@ -99,6 +114,12 @@ void GridSimulation::register_audit_checkers() {
   auditor_->add_checker("task-lifecycle", [this](auto& out) {
     audit::check_task_lifecycle(control_->lifecycle_snapshot(drained_), out);
   });
+  if (arrivals_ != nullptr) {
+    auditor_->add_checker("tenant-accounting", [this](auto& out) {
+      audit::check_tenant_accounting(control_->tenant_snapshot(drained_),
+                                     out);
+    });
+  }
   auditor_->add_checker("event-kernel", [this](auto& out) {
     audit::EventKernelSnapshot snap;
     snap.now = sim_.now();
@@ -176,12 +197,18 @@ metrics::RunResult GridSimulation::assemble_result() const {
     result.instances_lost = fault_->instances_lost();
   }
   result.sites = data_->site_results();
+  result.tenants = control_->tenant_results();
   return result;
 }
 
 metrics::RunResult GridSimulation::run() {
   WCS_CHECK_MSG(!ran_, "GridSimulation::run() is single-shot");
   ran_ = true;
+  if (arrivals_ != nullptr)
+    WCS_CHECK_MSG(scheduler_->supports_arrivals(),
+                  "scheduler " << scheduler_->name()
+                               << " cannot run an open-system workload "
+                                  "(no on_tasks_arrived support)");
 
   scheduler_->attach(*this);
   scheduler_->on_job_submitted();

@@ -39,6 +39,7 @@
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "storage/data_server.h"
+#include "workload/arrivals.h"
 #include "workload/job.h"
 
 namespace wcs::grid {
@@ -48,6 +49,13 @@ class GridSimulation final : public sched::GridEngine {
   // `job` must outlive the simulation. The scheduler is owned.
   GridSimulation(const GridConfig& config, const workload::Job& job,
                  std::unique_ptr<sched::Scheduler> scheduler);
+  // Open-system form: `workload` (job + arrival schedule) must outlive
+  // the simulation. A closed workload (!workload.open()) runs the exact
+  // closed-batch code path — the control plane and schedulers see a null
+  // schedule, so results are byte-identical to the Job constructor.
+  GridSimulation(const GridConfig& config,
+                 const workload::Workload& workload,
+                 std::unique_ptr<sched::Scheduler> scheduler);
   ~GridSimulation() override;
 
   // Runs the job to completion and returns the collected metrics.
@@ -56,6 +64,9 @@ class GridSimulation final : public sched::GridEngine {
 
   // --- sched::GridEngine (delegation only) ------------------------------
   [[nodiscard]] const workload::Job& job() const override { return job_; }
+  [[nodiscard]] const workload::ArrivalSchedule* arrivals() const override {
+    return arrivals_;
+  }
   [[nodiscard]] std::size_t num_sites() const override {
     return data_->num_sites();
   }
@@ -140,12 +151,19 @@ class GridSimulation final : public sched::GridEngine {
   }
 
  private:
+  GridSimulation(const GridConfig& config, const workload::Job& job,
+                 const workload::ArrivalSchedule* arrivals,
+                 std::unique_ptr<sched::Scheduler> scheduler);
+
   void register_audit_checkers();
   void audit_results_ledger(const metrics::RunResult& result) const;
   [[nodiscard]] metrics::RunResult assemble_result() const;
 
   GridConfig config_;
   const workload::Job& job_;
+  // Open-system arrival schedule; nullptr for closed-batch runs (both
+  // the Job constructor and a non-open Workload).
+  const workload::ArrivalSchedule* arrivals_ = nullptr;
   std::unique_ptr<sched::Scheduler> scheduler_;
 
   sim::Simulator sim_;

@@ -30,6 +30,34 @@ AveragedResult average(std::span<const RunResult> runs) {
     avg.makespan_minutes_max =
         std::max(avg.makespan_minutes_max, r.makespan_minutes());
   }
+
+  // Per-tenant sections: positional mean over the repetitions. All runs
+  // of one experiment share a workload, hence a tenant roster.
+  const std::size_t num_tenants = runs.front().tenants.size();
+  avg.tenants.resize(num_tenants);
+  for (TenantResult& t : avg.tenants) t.time_to_first_task_s = 0;
+  avg.jain_fairness = 0;
+  for (const RunResult& r : runs) {
+    WCS_CHECK_MSG(r.tenants.size() == num_tenants,
+                  "averaging across different tenant rosters");
+    avg.jain_fairness += r.jain_fairness() / n;
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+      const TenantResult& in = r.tenants[t];
+      TenantResult& out = avg.tenants[t];
+      out.name = in.name;
+      out.weight = in.weight;
+      out.tasks = in.tasks;
+      out.first_arrival_s = in.first_arrival_s;
+      out.completed += in.completed;  // divided by runs below
+      out.time_to_first_task_s += in.time_to_first_task_s / n;
+      out.makespan_s += in.makespan_s / n;
+      out.sojourn_mean_s += in.sojourn_mean_s / n;
+      out.sojourn_p50_s += in.sojourn_p50_s / n;
+      out.sojourn_p95_s += in.sojourn_p95_s / n;
+      out.sojourn_p99_s += in.sojourn_p99_s / n;
+    }
+  }
+  for (TenantResult& t : avg.tenants) t.completed /= runs.size();
   return avg;
 }
 

@@ -9,9 +9,28 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/stats.h"
 #include "common/units.h"
 
 namespace wcs::metrics {
+
+// Per-tenant section of an open-system run (RunResult::tenants; empty on
+// closed-batch runs). Times are simulation seconds. Sojourn = completion
+// time - arrival time, per completed task. time_to_first_task_s is -1
+// when the tenant never had a task assigned.
+struct TenantResult {
+  std::string name;
+  std::uint32_t weight = 1;
+  std::size_t tasks = 0;
+  std::size_t completed = 0;
+  double first_arrival_s = 0;
+  double time_to_first_task_s = -1;  // first assignment - first arrival
+  double makespan_s = 0;             // last completion - first arrival
+  double sojourn_mean_s = 0;
+  double sojourn_p50_s = 0;
+  double sojourn_p95_s = 0;
+  double sojourn_p99_s = 0;
+};
 
 // Per-site data-server accounting; mirrors storage::DataServer::Stats
 // plus cache counters. waiting_s / transfer_s are the two columns of the
@@ -43,9 +62,22 @@ struct RunResult {
   std::uint64_t worker_recoveries = 0;
   std::uint64_t instances_lost = 0;
   std::vector<SiteResult> sites;
+  // Per-tenant sections; empty for closed-batch runs.
+  std::vector<TenantResult> tenants;
 
   [[nodiscard]] double makespan_minutes() const {
     return to_minutes(makespan_s);
+  }
+
+  // Jain's fairness index over the tenants' weight-normalized service
+  // (completed / weight). 1.0 for closed-batch and single-tenant runs.
+  [[nodiscard]] double jain_fairness() const {
+    std::vector<double> shares;
+    shares.reserve(tenants.size());
+    for (const TenantResult& t : tenants)
+      shares.push_back(static_cast<double>(t.completed) /
+                       static_cast<double>(t.weight));
+    return jain_fairness_index(shares);
   }
 
   [[nodiscard]] std::uint64_t total_file_transfers() const {
@@ -117,6 +149,11 @@ struct AveragedResult {
   double replicas_cancelled = 0;
   double makespan_minutes_min = 0;
   double makespan_minutes_max = 0;
+  // Open-system runs: mean Jain's index over the repetitions and the
+  // positionally averaged per-tenant sections (names/weights from the
+  // first run; every run must carry the same tenant roster).
+  double jain_fairness = 1.0;
+  std::vector<TenantResult> tenants;
 };
 
 [[nodiscard]] AveragedResult average(std::span<const RunResult> runs);

@@ -18,6 +18,8 @@ ReportRow ReportRow::from(const metrics::AveragedResult& r) {
   row.waiting_hours_per_site = r.waiting_hours_per_site;
   row.transfer_hours_per_site = r.transfer_hours_per_site;
   row.replicas_started = r.replicas_started;
+  row.jain_fairness = r.jain_fairness;
+  row.tenants = r.tenants;
   return row;
 }
 
@@ -59,6 +61,27 @@ void RunReport::write(std::ostream& out) const {
       w.member("waiting_hours_per_site", r.waiting_hours_per_site);
       w.member("transfer_hours_per_site", r.transfer_hours_per_site);
       w.member("replicas_started", r.replicas_started);
+      if (!r.tenants.empty()) {
+        w.member("jain_fairness", r.jain_fairness);
+        w.key("tenants");
+        w.begin_array();
+        for (const metrics::TenantResult& t : r.tenants) {
+          w.begin_object();
+          w.member("name", t.name);
+          w.member("weight", t.weight);
+          w.member("tasks", t.tasks);
+          w.member("completed", t.completed);
+          w.member("first_arrival_s", t.first_arrival_s);
+          w.member("time_to_first_task_s", t.time_to_first_task_s);
+          w.member("makespan_s", t.makespan_s);
+          w.member("sojourn_mean_s", t.sojourn_mean_s);
+          w.member("sojourn_p50_s", t.sojourn_p50_s);
+          w.member("sojourn_p95_s", t.sojourn_p95_s);
+          w.member("sojourn_p99_s", t.sojourn_p99_s);
+          w.end_object();
+        }
+        w.end_array();
+      }
       w.end_object();
     }
     w.end_array();
@@ -115,12 +138,19 @@ class Validator {
 
   void check_version() {
     const JsonValue* v = doc_.find("schema_version");
-    if (!v || !v->is_number())
+    if (!v || !v->is_number()) {
       complain("schema_version", "missing or not a number");
-    else if (v->number != kReportSchemaVersion)
+      return;
+    }
+    if (v->number < kMinReportSchemaVersion ||
+        v->number > kReportSchemaVersion) {
       complain("schema_version",
-               "unsupported version " + json_number(v->number) +
-                   " (want " + std::to_string(kReportSchemaVersion) + ")");
+               "unsupported version " + json_number(v->number) + " (want " +
+                   std::to_string(kMinReportSchemaVersion) + ".." +
+                   std::to_string(kReportSchemaVersion) + ")");
+      return;
+    }
+    version_ = static_cast<int>(v->number);
   }
 
   void require_string(const std::string& key, bool non_empty) {
@@ -228,6 +258,48 @@ class Validator {
         complain(rat + ".name", "missing, not a string, or empty");
       require_number("runs", row, 1, rat);
       for (const char* key : kNumericKeys) require_number(key, row, 0.0, rat);
+      check_tenants(row, rat);
+    }
+  }
+
+  // Schema-v2 per-tenant sections (optional; a v1 row carrying them is
+  // a violation — the writer that emits them stamps version 2).
+  void check_tenants(const JsonValue& row, const std::string& rat) {
+    const JsonValue* tenants = row.find("tenants");
+    const JsonValue* jain = row.find("jain_fairness");
+    if (!tenants && !jain) return;
+    if (version_ < 2) {
+      complain(rat, "per-tenant sections require schema_version >= 2");
+      return;
+    }
+    if (!jain || !jain->is_number() || jain->number < 0 ||
+        jain->number > 1 + 1e-9)
+      complain(rat + ".jain_fairness",
+               "missing, not a number, or outside [0, 1]");
+    if (!tenants || !tenants->is_array() || tenants->array.empty()) {
+      complain(rat + ".tenants", "missing, not an array, or empty");
+      return;
+    }
+    static const char* kTenantNumericKeys[] = {
+        "tasks",          "completed",      "first_arrival_s",
+        "makespan_s",     "sojourn_mean_s", "sojourn_p50_s",
+        "sojourn_p95_s",  "sojourn_p99_s",
+    };
+    for (std::size_t i = 0; i < tenants->array.size(); ++i) {
+      const std::string tat = rat + ".tenants[" + std::to_string(i) + "]";
+      const JsonValue& t = tenants->array[i];
+      if (!t.is_object()) {
+        complain(tat, "not an object");
+        continue;
+      }
+      const JsonValue* name = t.find("name");
+      if (!name || !name->is_string() || name->string.empty())
+        complain(tat + ".name", "missing, not a string, or empty");
+      require_number("weight", t, 1, tat);
+      for (const char* key : kTenantNumericKeys)
+        require_number(key, t, 0.0, tat);
+      // -1 is the "never assigned" sentinel.
+      require_number("time_to_first_task_s", t, -1.0, tat);
     }
   }
 
@@ -256,6 +328,7 @@ class Validator {
   const JsonValue& doc_;
   std::string label_;
   std::vector<std::string> errors_;
+  int version_ = kReportSchemaVersion;
 };
 
 }  // namespace

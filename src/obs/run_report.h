@@ -23,6 +23,18 @@
 //           total_gigabytes, waiting_hours_per_site,
 //           transfer_hours_per_site, replicas_started: number >= 0 } ] } ]
 //   phases                optional array (obs::PhaseProfiler::write_json)
+//
+// Schema v2 == v1 plus optional per-tenant sections on a scheduler row
+// (open-system benches; closed-batch reports emit exactly the v1 row
+// shape under schema_version 2):
+//   schedulers[i].jain_fairness   number in [0, 1]   (with tenants)
+//   schedulers[i].tenants [ >= 1
+//     { name: string non-empty, weight: int >= 1, tasks, completed,
+//       first_arrival_s, makespan_s, sojourn_mean_s, sojourn_p50_s,
+//       sojourn_p95_s, sojourn_p99_s: number >= 0,
+//       time_to_first_task_s: number >= -1 (-1 = never assigned) } ]
+// The validator accepts both versions; tenant sections under v1 are a
+// violation (they imply v2).
 #pragma once
 
 #include <ostream>
@@ -35,7 +47,9 @@
 
 namespace wcs::obs {
 
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
+// Oldest schema validate_report still accepts.
+inline constexpr int kMinReportSchemaVersion = 1;
 
 // One scheduler's averaged metrics at one sweep point.
 struct ReportRow {
@@ -48,6 +62,9 @@ struct ReportRow {
   double waiting_hours_per_site = 0;
   double transfer_hours_per_site = 0;
   double replicas_started = 0;
+  // Schema v2: per-tenant sections (empty for closed-batch benches).
+  double jain_fairness = 1.0;
+  std::vector<metrics::TenantResult> tenants;
 
   [[nodiscard]] static ReportRow from(const metrics::AveragedResult& r);
 };
@@ -86,7 +103,8 @@ struct RunReport {
 };
 
 // Returns every schema violation found (empty = valid). Accepts schema
-// v1 run reports; `label` prefixes each message (typically the path).
+// v1 and v2 run reports; `label` prefixes each message (typically the
+// path).
 [[nodiscard]] std::vector<std::string> validate_report(
     const JsonValue& doc, const std::string& label = "report");
 

@@ -16,6 +16,9 @@
 //   ablation_baselines  A4        baselines vs estimate quality
 //   ext_replication     E1        data/task replication mechanisms
 //   ext_churn           E2        makespan under worker churn
+//   open_saturation     O1        open-system saturation sweep
+//   open_tenant_mix     O2        multi-tenant weight-mix ablation
+//   open_burst          O3        burst-vs-steady arrival processes
 //
 // register_builtin_scenarios() is idempotent and must be called before
 // looking any of these up (static registrars would be dropped by the
@@ -42,6 +45,7 @@ namespace detail {
 void register_paper_scenarios();      // table2, fig3..fig8, table3
 void register_ablation_scenarios();   // A1..A4
 void register_extension_scenarios();  // E1, E2
+void register_open_scenarios();       // O1..O3
 
 }  // namespace detail
 

@@ -35,7 +35,7 @@ void register_ablation_scenarios() {
         spec.x_axis = "config";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         for (int n : {1, 2}) {
           for (auto formula : {sched::CombinedFormula::kProse,
@@ -68,7 +68,7 @@ void register_ablation_scenarios() {
         spec.x_axis = "config";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         for (auto algorithm :
              {sched::Algorithm::kRest, sched::Algorithm::kCombined})
@@ -95,7 +95,7 @@ void register_ablation_scenarios() {
         spec.x_axis = "policy@capacity";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         sched::SchedulerSpec rest;
         rest.algorithm = sched::Algorithm::kRest;
@@ -133,7 +133,7 @@ void register_ablation_scenarios() {
         spec.x_axis = "estimate_error";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         sched::SchedulerSpec wq;
         wq.algorithm = sched::Algorithm::kWorkqueue;

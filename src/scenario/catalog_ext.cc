@@ -24,7 +24,7 @@ void register_extension_scenarios() {
         spec.x_axis = "variant";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
 
         auto rest = [](bool task_replication) {
@@ -87,7 +87,7 @@ void register_extension_scenarios() {
         spec.x_axis = "mean_uptime_h";
         spec.metric = Metric::kMakespanMinutes;
         spec.metric_name = "makespan (minutes)";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
 
         sched::SchedulerSpec sa;

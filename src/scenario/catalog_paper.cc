@@ -27,7 +27,7 @@ namespace {
 ScenarioSpec sweep_base(const char* name, const BuildOptions& options) {
   ScenarioSpec spec;
   spec.name = name;
-  spec.workload = paper_workload(options);
+  spec.workload.coadd = paper_workload(options);
   spec.schedulers = sched::SchedulerSpec::paper_algorithms();
   spec.base_config = paper_platform();
   return spec;
@@ -56,7 +56,7 @@ void register_table2(const char* name) {
         spec.title = "Table 2: Coadd workload characteristics";
         spec.x_axis = "tasks";
         spec.metric_name = "files per task";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         spec.stats = [](const workload::Job& job, std::ostream& out,
                         const std::optional<std::string>& csv_path) {
@@ -102,7 +102,7 @@ void register_fig3(const char* name) {
         spec.title = "Figure 3: Coadd file access distribution";
         spec.x_axis = "min_refs";
         spec.metric_name = "fraction of files";
-        spec.workload = paper_workload(options);
+        spec.workload.coadd = paper_workload(options);
         spec.base_config = paper_platform();
         spec.stats = [](const workload::Job& job, std::ostream& out,
                         const std::optional<std::string>& csv_path) {
@@ -263,6 +263,7 @@ void register_builtin_scenarios() {
     detail::register_paper_scenarios();
     detail::register_ablation_scenarios();
     detail::register_extension_scenarios();
+    detail::register_open_scenarios();
     return true;
   }();
   (void)registered;

@@ -8,6 +8,7 @@
 #include "scenario/catalog.h"
 #include "scenario/runner.h"
 #include "scenario/spec_json.h"
+#include "workload/registry.h"
 
 namespace wcs::scenario {
 
@@ -23,7 +24,33 @@ struct CliOptions {
   bool dump = false;
   bool flat_index = false;    // --flat-index: reference decision path
   bool full_realloc = false;  // --full-realloc: reference flow rebalancing
+  // Open-system workload-plane overrides (empty = leave the spec alone).
+  std::string workload;  // --workload: generator name
+  std::string tenants;   // --tenants: count or comma-separated weights
+  std::string arrival;   // --arrival: t0|poisson|diurnal|bursty
 };
+
+// --tenants accepts a count ("3": three equal-weight tenants) or an
+// explicit comma-separated weight list ("3,1,2").
+std::vector<wcs::workload::TenantInfo> parse_tenants(const std::string& arg) {
+  std::vector<wcs::workload::TenantInfo> tenants;
+  if (arg.find(',') == std::string::npos) {
+    const std::size_t count = std::stoul(arg);
+    tenants.resize(count);
+    return tenants;
+  }
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    wcs::workload::TenantInfo t;
+    t.weight = static_cast<std::uint32_t>(
+        std::stoul(arg.substr(pos, comma - pos)));
+    tenants.push_back(t);
+    pos = comma + 1;
+  }
+  return tenants;
+}
 
 [[noreturn]] void usage_error(const std::string& message) {
   std::cerr << message << '\n';
@@ -80,12 +107,20 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
       opt.flat_index = true;
     } else if (arg == "--full-realloc") {
       opt.full_realloc = true;
+    } else if (arg == "--workload") {
+      opt.workload = next();
+    } else if (arg == "--tenants") {
+      opt.tenants = next();
+    } else if (arg == "--arrival") {
+      opt.arrival = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenario NAME --list-scenarios "
                    "--dump-scenario [NAME]\n         --tasks N --seeds K "
                    "--jobs N --csv PATH --fast --audit\n         --report "
                    "PATH --no-report --trace-out PATH --flat-index\n"
-                   "         --full-realloc\n";
+                   "         --full-realloc --workload NAME\n"
+                   "         --tenants N|W1,W2,... --arrival "
+                   "t0|poisson|diurnal|bursty\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + arg);
@@ -157,6 +192,64 @@ int scenario_main(const std::string& default_scenario, int argc,
   if (opt.full_realloc) {
     spec.base_config.flow.incremental = false;
     for (Point& pt : spec.points) pt.config.flow.incremental = false;
+  }
+
+  // Open-system workload-plane overrides. --tenants/--arrival on the
+  // default coadd generator switch to the multi-tenant/stamped-arrival
+  // paths; an explicit --workload always wins.
+  if (!opt.tenants.empty()) {
+    spec.workload.open.tenants = parse_tenants(opt.tenants);
+    if (opt.workload.empty() && spec.workload.open.tenants.size() > 1 &&
+        spec.workload.generator == "coadd")
+      spec.workload.generator = "multi-tenant";
+  }
+  if (!opt.arrival.empty())
+    spec.workload.open.process = workload::parse_arrival_process(opt.arrival);
+  if (!opt.workload.empty()) {
+    workload::register_builtin_generators();
+    if (!workload::has_generator(opt.workload)) {
+      std::cerr << "unknown workload generator " << opt.workload << " (have:";
+      for (const std::string& g : workload::generator_names())
+        std::cerr << ' ' << g;
+      std::cerr << ")\n";
+      return 2;
+    }
+    spec.workload.generator = opt.workload;
+  }
+
+  // An open workload (timed arrivals and/or a tenant roster) can only
+  // run pull schedulers — task-centric push placement would act on
+  // tasks that have not arrived. Drop the incompatible rows with a
+  // notice instead of aborting mid-run.
+  const bool open_requested =
+      spec.workload.open.process != workload::ArrivalProcess::kAtT0 ||
+      spec.workload.open.tenants.size() > 1;
+  if (open_requested && (!opt.tenants.empty() || !opt.arrival.empty() ||
+                         !opt.workload.empty())) {
+    auto drop_push = [](std::vector<sched::SchedulerSpec>& specs) {
+      const std::size_t before = specs.size();
+      std::erase_if(specs, [](const sched::SchedulerSpec& s) {
+        const bool pull = sched::make_scheduler(s)->supports_arrivals();
+        if (!pull)
+          std::cerr << "  [dropping " << s.name()
+                    << ": task-centric, cannot take timed arrivals]\n";
+        return !pull;
+      });
+      return specs.size() != before;
+    };
+    drop_push(spec.schedulers);
+    for (Point& pt : spec.points)
+      // Row labels are parallel to the per-point scheduler list; once
+      // rows are dropped the renames no longer line up, so fall back to
+      // the specs' own names.
+      if (drop_push(pt.schedulers)) pt.row_labels.clear();
+    if (spec.schedulers.empty() &&
+        (spec.points.empty() || spec.points.front().schedulers.empty())) {
+      std::cerr << "no scheduler in this scenario supports open-system "
+                   "arrivals (pull schedulers: workqueue, overlap, rest, "
+                   "combined)\n";
+      return 2;
+    }
   }
 
   if (opt.dump) {

@@ -27,6 +27,14 @@
 //                     only the dirty component (net/flow_manager.h);
 //                     totals are byte-identical, only the wall-clock
 //                     differs
+//   --workload NAME   override the spec's workload generator (registry
+//                     names: coadd, uniform, zipf, partitioned, trace,
+//                     multi-tenant)
+//   --tenants N|W,..  open-system tenant roster: a count (equal weights)
+//                     or comma-separated weights; with the default coadd
+//                     generator this implies --workload multi-tenant
+//   --arrival P       arrival process: t0 (closed, default), poisson,
+//                     diurnal, or bursty
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1

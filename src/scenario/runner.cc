@@ -9,7 +9,7 @@
 #include "grid/experiment.h"
 #include "grid/grid_simulation.h"
 #include "obs/run_report.h"
-#include "workload/coadd.h"
+#include "workload/registry.h"
 
 namespace wcs::scenario {
 
@@ -36,7 +36,8 @@ double elapsed_s(const RunOptions& options) {
 // never share a trace file.
 std::optional<obs::PhaseProfiler> trace_representative_run(
     const ScenarioSpec& spec, const RunOptions& options,
-    const workload::Job& job, std::ostream& out, std::ostream& err) {
+    const workload::Workload& workload, std::ostream& out,
+    std::ostream& err) {
   if (!options.trace_out) return std::nullopt;
   grid::GridConfig config = spec.base_config;
   config.audit = config.audit || options.audit;
@@ -47,7 +48,10 @@ std::optional<obs::PhaseProfiler> trace_representative_run(
       spec.schedulers.empty() ? spec.points.front().schedulers.front()
                               : spec.schedulers.front();
   err << "  [traced run: " << scheduler.name() << "]\n";
-  grid::GridSimulation sim(config, job, sched::make_scheduler(scheduler));
+  const workload::ArrivalSchedule* arrivals =
+      workload.open() ? &workload.arrivals : nullptr;
+  grid::GridSimulation sim(config, workload,
+                           sched::make_scheduler(scheduler, arrivals));
   (void)sim.run();
   out << "\nChrome trace written to " << *options.trace_out << '\n';
   return *sim.observability()->profiler();
@@ -85,8 +89,8 @@ void write_report(const ScenarioSpec& spec,
 
 int run_stats_scenario(const ScenarioSpec& spec, const RunOptions& options,
                        std::ostream& out) {
-  workload::Job job = workload::generate_coadd(spec.workload);
-  StatsResult sr = spec.stats(job, out, options.csv_path);
+  const workload::Workload wl = workload::build_workload(spec.workload);
+  StatsResult sr = spec.stats(wl.job, out, options.csv_path);
 
   // No simulations here: the run report records config/wall time plus a
   // placeholder row so the schema-checked artifact set stays complete.
@@ -107,10 +111,12 @@ int run_stats_scenario(const ScenarioSpec& spec, const RunOptions& options,
 int run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   std::ostream& out = options.out != nullptr ? *options.out : std::cout;
   std::ostream& err = options.err != nullptr ? *options.err : std::cerr;
+  workload::register_builtin_generators();  // idempotent
 
   if (spec.is_stats()) return run_stats_scenario(spec, options, out);
 
-  workload::Job base_job = workload::generate_coadd(spec.workload);
+  const workload::Workload base_workload =
+      workload::build_workload(spec.workload);
   const std::vector<std::uint64_t> seeds = options.topology_seeds();
 
   std::vector<SweepPoint> points;
@@ -118,16 +124,19 @@ int run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     grid::GridConfig config = point.config;
     config.audit = config.audit || options.audit;
 
-    // File size lives in the catalog, so a file-size axis regenerates
-    // the workload per point (same seed: identical task -> file
-    // structure, new sizes).
-    workload::Job sized_job;
-    if (point.file_size) {
-      workload::CoaddParams params = spec.workload;
-      params.file_size = *point.file_size;
-      sized_job = workload::generate_coadd(params);
+    // File size and workload overrides live in the catalog, so those
+    // axes regenerate the workload per point (same seed: identical
+    // task -> file structure; only the overridden knob changes).
+    workload::Workload point_workload;
+    const bool regenerate = point.file_size || point.workload;
+    if (regenerate) {
+      workload::GeneratorSpec sized =
+          point.workload ? *point.workload : spec.workload;
+      if (point.file_size) sized.coadd.file_size = *point.file_size;
+      point_workload = workload::build_workload(sized);
     }
-    const workload::Job& job = point.file_size ? sized_job : base_job;
+    const workload::Workload& wl =
+        regenerate ? point_workload : base_workload;
 
     const std::vector<sched::SchedulerSpec>& schedulers =
         point.schedulers.empty() ? spec.schedulers : point.schedulers;
@@ -136,7 +145,7 @@ int run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
     pt.x = point.x;
     pt.label = point.label;
     pt.rows = grid::run_matrix(
-        config, job, schedulers, seeds,
+        config, wl, schedulers, seeds,
         [&](const std::string& s) {
           err << "  [" << point.label << ": " << s << "]\n";
         },
@@ -148,7 +157,7 @@ int run_scenario(const ScenarioSpec& spec, const RunOptions& options) {
   }
 
   std::optional<obs::PhaseProfiler> phases =
-      trace_representative_run(spec, options, base_job, out, err);
+      trace_representative_run(spec, options, base_workload, out, err);
 
   for (const SweepPoint& pt : points)
     grid::print_table(out, spec.title + " — " + spec.x_axis + " = " + pt.label,

@@ -2,7 +2,8 @@
 // protocol (5 topology seeds, averaged rows, run_matrix fan-out) and
 // emits the standard artifact set: per-point tables, the headline-metric
 // series, optional CSV, the machine-readable run report (obs::RunReport
-// schema v1), and an optional Chrome trace of one representative run.
+// schema v2; open-system scenarios add per-tenant sections), and an
+// optional Chrome trace of one representative run.
 //
 // This is the engine behind every bench binary; the CLI wrapper
 // (scenario/cli.h) parses the shared flag set into RunOptions.

@@ -24,7 +24,7 @@
 #include "grid/config.h"
 #include "metrics/results.h"
 #include "sched/factory.h"
-#include "workload/coadd.h"
+#include "workload/registry.h"
 
 namespace wcs::scenario {
 
@@ -49,6 +49,11 @@ struct Point {
   // Regenerate the workload with this file size for this point (same
   // seed: identical task -> file structure, new sizes). Figure 8 only.
   std::optional<Bytes> file_size;
+
+  // Per-point workload override (open-system sweeps vary the arrival
+  // process / offered load / tenant roster per point); empty = the
+  // spec-level workload.
+  std::optional<workload::GeneratorSpec> workload;
 
   // Per-point scheduler override; empty = the spec-level set. Used when
   // the "rows" of a point are variants rather than algorithms (e.g. the
@@ -75,9 +80,13 @@ struct ScenarioSpec {
   Metric metric = Metric::kMakespanMinutes;
   std::string metric_name;  // human label, e.g. "makespan (minutes)"
 
-  // Base workload parameters (builders bake BuildOptions::tasks in, so a
-  // dumped spec shows the workload that would actually run).
-  workload::CoaddParams workload;
+  // Base workload description (builders bake BuildOptions::tasks in, so
+  // a dumped spec shows the workload that would actually run). Selects a
+  // generator from the workload registry (workload/registry.h); the
+  // default is the closed synthetic Coadd bag. Open-system scenarios set
+  // workload.open (tenants + arrival process) and run through the
+  // arrival-aware engine path.
+  workload::GeneratorSpec workload;
 
   // The algorithm set, one table/series row per spec (paper order).
   std::vector<sched::SchedulerSpec> schedulers;

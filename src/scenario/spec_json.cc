@@ -58,8 +58,28 @@ void dump_scenario(const ScenarioSpec& spec, std::ostream& out) {
 
   w.key("workload");
   w.begin_object();
-  w.member("num_tasks", static_cast<std::uint64_t>(spec.workload.num_tasks));
-  w.member("file_size_mb", to_megabytes(spec.workload.file_size));
+  w.member("generator", spec.workload.generator);
+  w.member("num_tasks",
+           static_cast<std::uint64_t>(spec.workload.coadd.num_tasks));
+  w.member("file_size_mb", to_megabytes(spec.workload.coadd.file_size));
+  if (spec.workload.open.process != workload::ArrivalProcess::kAtT0 ||
+      spec.workload.open.tenants.size() > 1) {
+    w.key("open");
+    w.begin_object();
+    w.member("arrival_process",
+             workload::to_string(spec.workload.open.process));
+    w.member("mean_interarrival_s", spec.workload.open.mean_interarrival_s);
+    w.key("tenants");
+    w.begin_array();
+    for (const workload::TenantInfo& t : spec.workload.open.tenants) {
+      w.begin_object();
+      w.member("name", t.name);
+      w.member("weight", t.weight);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
 
   w.key("schedulers");
@@ -75,6 +95,17 @@ void dump_scenario(const ScenarioSpec& spec, std::ostream& out) {
     write_config(w, pt.config);
     if (pt.file_size) {
       w.member("file_size_mb", to_megabytes(*pt.file_size));
+    }
+    if (pt.workload) {
+      w.key("workload");
+      w.begin_object();
+      w.member("generator", pt.workload->generator);
+      w.member("arrival_process",
+               workload::to_string(pt.workload->open.process));
+      w.member("mean_interarrival_s", pt.workload->open.mean_interarrival_s);
+      w.member("tenants", static_cast<std::uint64_t>(
+                              pt.workload->open.tenants.size()));
+      w.end_object();
     }
     if (!pt.schedulers.empty()) {
       w.key("schedulers");

@@ -1,5 +1,8 @@
 #include "sched/factory.h"
 
+#include "common/rng.h"
+#include "sched/tenant_wrr.h"
+
 namespace wcs::sched {
 
 std::string SchedulerSpec::name() const {
@@ -79,6 +82,25 @@ std::unique_ptr<Scheduler> make_scheduler(const SchedulerSpec& spec) {
   }
   WCS_CHECK(false);
   return nullptr;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(
+    const SchedulerSpec& spec, const workload::ArrivalSchedule* arrivals) {
+  if (arrivals == nullptr || !arrivals->open() ||
+      arrivals->num_tenants() <= 1)
+    return make_scheduler(spec);
+  WCS_CHECK_MSG(!spec.task_replication,
+                "task replication under the WRR tenant layer is not "
+                "supported (an inner bag going empty is a tenant-local "
+                "event, not a job-wide one)");
+  return std::make_unique<TenantWrrScheduler>(
+      *arrivals, [&spec](std::uint32_t tenant) {
+        SchedulerSpec inner = spec;
+        // Independent randomized-ChooseTask streams per tenant: adding a
+        // tenant must not perturb the draws of the others.
+        inner.seed = substream_seed(spec.seed, tenant);
+        return make_scheduler(inner);
+      });
 }
 
 }  // namespace wcs::sched

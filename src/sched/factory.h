@@ -60,4 +60,14 @@ struct SchedulerSpec {
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
     const SchedulerSpec& spec);
 
+// Workload-aware construction. Closed workloads (arrivals == nullptr or
+// !arrivals->open()) build exactly make_scheduler(spec). A multi-tenant
+// schedule wraps one inner pull scheduler per tenant in the WRR tenant
+// layer (tenant_wrr.h), deriving each inner's randomized-ChooseTask seed
+// from substream_seed(spec.seed, tenant). Single-tenant timed arrivals
+// build the plain scheduler, which must support them (checked at run
+// start by GridSimulation).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    const SchedulerSpec& spec, const workload::ArrivalSchedule* arrivals);
+
 }  // namespace wcs::sched

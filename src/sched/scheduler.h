@@ -29,6 +29,7 @@
 #include "grid/config.h"
 #include "obs/profiler.h"
 #include "storage/file_cache.h"
+#include "workload/arrivals.h"
 #include "workload/job.h"
 
 namespace wcs::sched {
@@ -106,6 +107,14 @@ class GridEngine {
   // Cancel a queued, fetching, or executing task instance on a worker.
   // No-op (returns false) if the worker no longer holds that task.
   virtual bool cancel_task(TaskId task, WorkerId worker) = 0;
+
+  // Open-system arrival metadata, or nullptr for the closed batch
+  // (every existing run). When non-null, only tasks with
+  // arrivals()->arrival(t) <= 0 are pending at on_job_submitted();
+  // the rest are delivered later through on_tasks_arrived().
+  [[nodiscard]] virtual const workload::ArrivalSchedule* arrivals() const {
+    return nullptr;
+  }
 };
 
 class Scheduler {
@@ -116,8 +125,34 @@ class Scheduler {
   // scheduler.
   virtual void attach(GridEngine& engine) { engine_ = &engine; }
 
-  // All tasks of engine().job() are known and pending.
+  // All tasks of engine().job() are known. With engine().arrivals() ==
+  // nullptr (the closed batch) every task is pending; otherwise only
+  // tasks already arrived at t=0 are, and the engine feeds the rest
+  // through on_tasks_arrived() as simulated time advances.
   virtual void on_job_submitted() = 0;
+
+  // Open-system runs only: `tasks` (ascending ids) just arrived and are
+  // now pending. The scheduler should feed any starving workers. Only
+  // called when supports_arrivals() — the engine validates the pairing
+  // before the run starts.
+  virtual void on_tasks_arrived(const std::vector<TaskId>& tasks) {
+    (void)tasks;
+    WCS_CHECK_MSG(false, "scheduler " << name()
+                                      << " does not support arrivals");
+  }
+
+  // Whether this scheduler implements the open-system contract above.
+  // Pull schedulers re-evaluate against the live state on every request
+  // and support it naturally; task-centric push schedulers (storage
+  // affinity, XSufferage) would make premature placements for tasks
+  // that have not arrived, so they opt out.
+  [[nodiscard]] virtual bool supports_arrivals() const { return false; }
+
+  // Unassigned tasks currently in this scheduler's bag. Pull schedulers
+  // override it (the WRR tenant layer reads it to decide which tenants
+  // are eligible for the next idle worker); push schedulers, which hold
+  // no bag after submission, keep the 0 default.
+  [[nodiscard]] virtual std::size_t pending_count() const { return 0; }
 
   // `worker` is idle with an empty queue and asks for work. Fired once
   // per idle transition (workers do not re-poll; a scheduler that leaves

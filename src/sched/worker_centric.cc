@@ -60,17 +60,31 @@ void WorkerCentricScheduler::build_index() {
     max_task_size = std::max(max_task_size, task_size_[t.id.value()]);
   }
   tasks_of_file_.finalize();
-  for (const workload::Task& t : job.tasks())
-    for (FileId f : t.files) tasks_of_file_.push(f.value(), t.id);
 
-  pending_.assign(num_tasks, 1);
-  pending_list_.resize(num_tasks);
+  // Open-system runs: only tasks already arrived at t=0 start pending.
+  // The CSR rows above were COUNTED over all tasks, so a later arrival
+  // re-enters its rows through re_add_pending without overflowing them.
+  // Closed runs (arrivals == nullptr) take the every-task path verbatim.
+  const workload::ArrivalSchedule* arrivals = engine().arrivals();
+  auto initially_pending = [arrivals](TaskId t) {
+    return arrivals == nullptr || arrivals->arrival(t) <= 0;
+  };
+  for (const workload::Task& t : job.tasks())
+    if (initially_pending(t.id))
+      for (FileId f : t.files) tasks_of_file_.push(f.value(), t.id);
+
+  pending_.assign(num_tasks, 0);
+  pending_list_.clear();
+  pending_list_.reserve(num_tasks);
   pending_pos_.resize(num_tasks);
   placements_.assign(num_tasks, {});
   completed_.assign(num_tasks, 0);
   for (std::size_t i = 0; i < num_tasks; ++i) {
-    pending_list_[i] = TaskId(static_cast<TaskId::underlying_type>(i));
-    pending_pos_[i] = static_cast<std::uint32_t>(i);
+    TaskId id(static_cast<TaskId::underlying_type>(i));
+    if (!initially_pending(id)) continue;
+    pending_[i] = 1;
+    pending_pos_[i] = static_cast<std::uint32_t>(pending_list_.size());
+    pending_list_.push_back(id);
   }
 
   // Seed the per-site overlap/ref-sum counters from whatever the caches
@@ -91,10 +105,12 @@ void WorkerCentricScheduler::build_index() {
         idx.ref_sum[t.value()] += refs;
       }
     }
-    // Seed the incremental aggregates (every task is pending at submit).
+    // Seed the incremental aggregates over the initially-pending bag
+    // (every task, in a closed run).
     idx.total_ref = 0;
     idx.missing_hist.assign(max_task_size + 1, 0);
     for (std::size_t t = 0; t < num_tasks; ++t) {
+      if (!pending_[t]) continue;
       idx.total_ref += idx.ref_sum[t];
       ++idx.missing_hist[task_size_[t] - idx.overlap[t]];
     }
@@ -102,6 +118,7 @@ void WorkerCentricScheduler::build_index() {
       ShardedTaskIndex& shard = shards_[s];
       shard.reset(num_tasks);
       for (std::size_t t = 0; t < num_tasks; ++t) {
+        if (!pending_[t]) continue;
         TaskId id(static_cast<TaskId::underlying_type>(t));
         shard.insert(id, shard_key(idx, id), shard_rank(idx, id));
       }
@@ -655,6 +672,13 @@ void WorkerCentricScheduler::on_worker_failed(
     instances.erase_value(worker);
     if (instances.empty() && !completed_[t.value()]) re_add_pending(t);
   }
+  feed_starving();
+}
+
+void WorkerCentricScheduler::on_tasks_arrived(
+    const std::vector<TaskId>& tasks) {
+  obs::ScopedPhase phase(profiler_, obs::Phase::kSchedulerDecision);
+  for (TaskId t : tasks) re_add_pending(t);
   feed_starving();
 }
 

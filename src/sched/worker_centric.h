@@ -101,6 +101,12 @@ class WorkerCentricScheduler final : public Scheduler {
   // for work when the bag was empty.
   void on_worker_failed(WorkerId worker,
                         const std::vector<TaskId>& lost) override;
+  // Open-system arrivals: each task enters the pending bag exactly like
+  // a crash re-home (per-site counters rebuilt against the live cache,
+  // aggregate / shard / inverted-index re-insertion), then starving
+  // workers are fed.
+  void on_tasks_arrived(const std::vector<TaskId>& tasks) override;
+  [[nodiscard]] bool supports_arrivals() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   // Invariant audit: cross-validates every site's incremental aggregates
@@ -120,7 +126,7 @@ class WorkerCentricScheduler final : public Scheduler {
   // property tests assert weight() == naive_weight() at every step.
   [[nodiscard]] double naive_weight(SiteId site, TaskId task) const;
 
-  [[nodiscard]] std::size_t pending_count() const {
+  [[nodiscard]] std::size_t pending_count() const override {
     return pending_list_.size();
   }
   [[nodiscard]] bool is_pending(TaskId task) const {

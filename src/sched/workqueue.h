@@ -24,12 +24,23 @@ namespace wcs::sched {
 class WorkqueueScheduler final : public Scheduler {
  public:
   // Rebuilds the FIFO from the engine's task list in id order (dense,
-  // 0-based — validate_job guarantees it).
+  // 0-based — validate_job guarantees it). Open-system runs start with
+  // only the tasks already arrived at t=0; the rest join the FIFO tail
+  // through on_tasks_arrived in arrival order.
   void on_job_submitted() override {
+    const workload::ArrivalSchedule* arrivals = engine().arrivals();
     pending_.clear();
     for (const workload::Task& t : engine().job().tasks())
-      pending_.push_back(t.id);
+      if (arrivals == nullptr || arrivals->arrival(t.id) <= 0)
+        pending_.push_back(t.id);
   }
+
+  void on_tasks_arrived(const std::vector<TaskId>& tasks) override {
+    for (TaskId t : tasks) pending_.push_back(t);
+    feed_starving();
+  }
+
+  [[nodiscard]] bool supports_arrivals() const override { return true; }
 
   // Hands the FIFO head to the requester, or parks it on the starving
   // list when the bag is empty (drained by on_worker_failed re-queues).
@@ -56,6 +67,19 @@ class WorkqueueScheduler final : public Scheduler {
     // earliest), then any starving worker is fed immediately.
     for (auto it = lost.rbegin(); it != lost.rend(); ++it)
       pending_.push_front(*it);
+    feed_starving();
+  }
+
+  [[nodiscard]] std::string name() const override { return "workqueue"; }
+
+  // Unassigned tasks still in the FIFO (audit/test hook; running tasks
+  // are not counted).
+  [[nodiscard]] std::size_t pending_count() const override {
+    return pending_.size();
+  }
+
+ private:
+  void feed_starving() {
     while (!pending_.empty() && !starving_.empty()) {
       WorkerId w = starving_.front();
       starving_.erase(starving_.begin());
@@ -66,13 +90,6 @@ class WorkqueueScheduler final : public Scheduler {
     }
   }
 
-  [[nodiscard]] std::string name() const override { return "workqueue"; }
-
-  // Unassigned tasks still in the FIFO (audit/test hook; running tasks
-  // are not counted).
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
-
- private:
   std::deque<TaskId> pending_;
   std::vector<WorkerId> starving_;
 };

@@ -1,0 +1,82 @@
+// Open-system arrival processes and the multi-tenant bag-stream
+// generator.
+//
+// Tenants submit bags of tasks over simulated time (ROADMAP: "heavy
+// traffic from millions of users"; PAPERS.md "Dynamic task scheduling in
+// computing cluster environments" grounds the dynamic-arrival side, the
+// CMS multi-user workflow study the tenant-mix side). Each tenant's
+// arrival stream is drawn from its own RNG substream derived with
+// substream_seed(seed, tenant) — adding tenant N+1, or drawing more for
+// one tenant, never perturbs tenants 1..N (the stream-hygiene property
+// tested in tests/test_workload_open.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.h"
+#include "workload/coadd.h"
+
+namespace wcs::workload {
+
+enum class ArrivalProcess {
+  kAtT0,     // everything pending at t=0 (the closed-batch degenerate)
+  kPoisson,  // exponential inter-arrival gaps
+  kDiurnal,  // sinusoidally rate-modulated Poisson (day/night load)
+  kBursty,   // heavy-tailed (bounded-Pareto) gaps between task bursts
+};
+
+[[nodiscard]] const char* to_string(ArrivalProcess process);
+[[nodiscard]] ArrivalProcess parse_arrival_process(const std::string& name);
+
+struct OpenParams {
+  // Tenant roster. Empty = one anonymous weight-1 tenant.
+  std::vector<TenantInfo> tenants;
+
+  ArrivalProcess process = ArrivalProcess::kAtT0;
+
+  // Mean inter-arrival gap per tenant, simulated seconds. All processes
+  // are calibrated to this long-run mean so they are comparable at equal
+  // offered load (the burst-vs-steady scenario's whole point).
+  double mean_interarrival_s = 600.0;
+
+  // kDiurnal: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)).
+  double diurnal_period_s = 86400.0;
+  double diurnal_amplitude = 0.8;  // in [0, 1)
+
+  // kBursty: bursts of ~mean_burst_size tasks in quick succession
+  // (gaps mean_interarrival_s / 20), separated by bounded-Pareto gaps
+  // with tail exponent burst_alpha in (1, 2].
+  double burst_alpha = 1.5;
+  double mean_burst_size = 8.0;
+
+  // Tasks per tenant bag. 0 = split the base CoaddParams::num_tasks
+  // evenly (remainder to the earliest tenants). Set explicitly when the
+  // tenant-N+1 non-perturbation property matters: an even split of a
+  // fixed total shifts counts when the roster grows.
+  std::size_t tasks_per_tenant = 0;
+
+  // Root seed for all per-tenant substreams (arrival draws AND per-
+  // tenant bag synthesis).
+  std::uint64_t seed = 101;
+};
+
+// One tenant's arrival sequence: `count` nondecreasing times, first
+// arrival one gap after t=0. Deterministic in (params, tenant) only.
+[[nodiscard]] std::vector<double> draw_arrivals(std::size_t count,
+                                                const OpenParams& params,
+                                                std::uint32_t tenant);
+
+// Multi-tenant workload: per-tenant Coadd bags (each synthesized from
+// its own substream, files in per-tenant id ranges appended in tenant
+// order) with per-tenant arrival streams. Tenants 1..N are byte-stable
+// under roster growth when tasks_per_tenant is explicit.
+[[nodiscard]] Workload generate_multi_tenant(const CoaddParams& bag,
+                                             const OpenParams& open);
+
+// Stamp a single-tenant arrival stream over an existing closed job's
+// tasks in id order (open-system runs of any base generator).
+void stamp_arrivals(Workload& workload, const OpenParams& open);
+
+}  // namespace wcs::workload

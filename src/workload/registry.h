@@ -1,0 +1,59 @@
+// Named workload-generator registry, mirroring the scenario registry
+// (src/scenario): generators are pure functions from a plain-data
+// GeneratorSpec to a Workload, registered under stable names so the
+// scenario layer and the CLI (--workload NAME) can select them.
+//
+// Builtins (register_builtin_generators):
+//   coadd        synthetic Coadd (the paper's workload; the default)
+//   uniform      unstructured sharing (GeneratorParams)
+//   zipf         skewed popularity (GeneratorParams + zipf_exponent)
+//   partitioned  zero sharing (GeneratorParams)
+//   trace        replay a saved trace file (trace_path)
+//   multi-tenant per-tenant Coadd bag streams with arrival processes
+//
+// Like the scenario registry, registration is an explicit call, not a
+// static initializer — static registrars get dropped when linking
+// static libraries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.h"
+#include "workload/coadd.h"
+#include "workload/generators.h"
+#include "workload/open.h"
+
+namespace wcs::workload {
+
+// Plain data selecting and parameterizing a generator. Carries the
+// parameter blocks for every builtin; each generator reads only its
+// own. `open` applies to any closed builtin too: a non-t0 process
+// stamps single-tenant arrivals over the generated bag.
+struct GeneratorSpec {
+  std::string generator = "coadd";
+
+  CoaddParams coadd;          // coadd, and the per-tenant bag template
+  GeneratorParams synthetic;  // uniform / zipf / partitioned
+  double zipf_exponent = 1.0;
+  std::string trace_path;  // trace
+
+  OpenParams open;  // tenants + arrival process (multi-tenant, stamping)
+};
+
+using GeneratorBuilder = std::function<Workload(const GeneratorSpec&)>;
+
+void register_generator(const std::string& name, const std::string& summary,
+                        GeneratorBuilder builder);
+[[nodiscard]] bool has_generator(const std::string& name);
+[[nodiscard]] std::vector<std::string> generator_names();
+[[nodiscard]] const std::string& generator_summary(const std::string& name);
+
+// Build the named generator's workload; checks the result is sound.
+[[nodiscard]] Workload build_workload(const GeneratorSpec& spec);
+
+// Idempotent registration of the builtin generators listed above.
+void register_builtin_generators();
+
+}  // namespace wcs::workload

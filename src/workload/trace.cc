@@ -32,8 +32,29 @@ void save_job(const Job& job, const std::string& path) {
   save_job(job, out);
 }
 
-Job load_job(std::istream& in) {
-  Job job;
+void save_workload(const Workload& workload, std::ostream& out) {
+  save_job(workload.job, out);
+  // A closed workload serializes as a plain job: byte-identical to the
+  // legacy format, loadable by old readers.
+  if (!workload.open()) return;
+  const ArrivalSchedule& s = workload.arrivals;
+  for (std::size_t t = 0; t < s.tenants.size(); ++t)
+    out << "tenant " << t << ' ' << s.tenants[t].weight << ' '
+        << (s.tenants[t].name.empty() ? "unnamed" : s.tenants[t].name)
+        << '\n';
+  for (const Task& task : workload.job.tasks())
+    out << "arrival " << task.id.value() << ' ' << s.tenant(task.id) << ' '
+        << s.arrival(task.id) << '\n';
+}
+
+void save_workload(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  WCS_CHECK_MSG(out.good(), "cannot open " << path);
+  save_workload(workload, out);
+}
+
+Workload load_workload(std::istream& in) {
+  Workload wl;
   std::size_t declared_files = 0;
   std::vector<Bytes> sizes;
   // Task lines parse into per-id staging slots (the trace may list
@@ -43,7 +64,13 @@ Job load_job(std::istream& in) {
     double mflop = 0;
     std::vector<FileId> files;
   };
+  struct ParsedArrival {
+    bool seen = false;
+    std::uint32_t tenant = 0;
+    double time_s = 0;
+  };
   std::vector<ParsedTask> parsed;
+  std::vector<ParsedArrival> arrivals;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -53,7 +80,7 @@ Job load_job(std::istream& in) {
     if (kind == "job") {
       std::string name;
       ls >> name;
-      job.set_name(name);
+      wl.job.set_name(name);
     } else if (kind == "files") {
       ls >> declared_files;
       sizes.assign(declared_files, 0);
@@ -75,24 +102,65 @@ Job load_job(std::istream& in) {
       FileId::underlying_type f = 0;
       while (ls >> f) t.files.push_back(FileId(f));
       WCS_CHECK_MSG(!ls.bad(), "malformed task line");
+    } else if (kind == "tenant") {
+      std::size_t idx = 0;
+      std::uint32_t weight = 0;
+      std::string name;
+      ls >> idx >> weight >> name;
+      WCS_CHECK_MSG(idx == wl.arrivals.tenants.size(),
+                    "tenant ids must be dense 0-based (got " << idx << ")");
+      wl.arrivals.tenants.push_back({name, weight});
+    } else if (kind == "arrival") {
+      TaskId::underlying_type id = 0;
+      ParsedArrival a;
+      ls >> id >> a.tenant >> a.time_s;
+      a.seen = true;
+      if (id >= arrivals.size()) arrivals.resize(id + 1);
+      WCS_CHECK_MSG(!arrivals[id].seen, "arrival " << id << " declared twice");
+      arrivals[id] = a;
     } else {
       WCS_CHECK_MSG(false, "unknown trace directive: " << kind);
     }
   }
   for (Bytes b : sizes) {
     WCS_CHECK_MSG(b > 0, "file with no declared size");
-    job.catalog.add_file(b);
+    wl.job.catalog.add_file(b);
   }
   std::size_t total_refs = 0;
   for (const ParsedTask& t : parsed) total_refs += t.files.size();
-  job.reserve_tasks(parsed.size(), total_refs);
+  wl.job.reserve_tasks(parsed.size(), total_refs);
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     WCS_CHECK_MSG(parsed[i].seen, "task ids must be dense 0-based (missing "
                                       << i << ")");
-    job.add_task(parsed[i].files, parsed[i].mflop);
+    wl.job.add_task(parsed[i].files, parsed[i].mflop);
   }
-  validate_job(job);
-  return job;
+  validate_job(wl.job);
+  if (!arrivals.empty()) {
+    WCS_CHECK_MSG(arrivals.size() == parsed.size(),
+                  "arrival directives must cover every task");
+    wl.arrivals.arrival_s.reserve(arrivals.size());
+    wl.arrivals.tenant_of.reserve(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      WCS_CHECK_MSG(arrivals[i].seen, "missing arrival for task " << i);
+      wl.arrivals.arrival_s.push_back(arrivals[i].time_s);
+      wl.arrivals.tenant_of.push_back(arrivals[i].tenant);
+    }
+  }
+  validate_arrivals(wl.arrivals, wl.job);
+  return wl;
+}
+
+Workload load_workload(const std::string& path) {
+  std::ifstream in(path);
+  WCS_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_workload(in);
+}
+
+Job load_job(std::istream& in) {
+  Workload wl = load_workload(in);
+  WCS_CHECK_MSG(!wl.open(),
+                "trace carries open-system metadata; use load_workload");
+  return std::move(wl.job);
 }
 
 Job load_job(const std::string& path) {

@@ -6,13 +6,20 @@
 //   filesize <file-index> <bytes>        (one per file, dense order)
 //   task <id> <mflop> <file> <file> ...  (one per task)
 //
+// Open-system workloads append two optional directives:
+//   tenant <index> <weight> <name>       (one per tenant, dense order)
+//   arrival <task-id> <tenant> <time-s>  (one per task with metadata)
+//
 // Round-trips exactly; used to snapshot generated workloads so an
-// experiment can be re-run byte-identically without re-generating.
+// experiment can be re-run byte-identically without re-generating. A
+// closed Workload serializes to exactly the legacy job-only format, so
+// old traces load unchanged and closed saves stay byte-compatible.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "workload/arrivals.h"
 #include "workload/job.h"
 
 namespace wcs::workload {
@@ -22,5 +29,13 @@ void save_job(const Job& job, const std::string& path);
 
 [[nodiscard]] Job load_job(std::istream& in);
 [[nodiscard]] Job load_job(const std::string& path);
+
+// Job plus arrival metadata (tenant/arrival directives, omitted when
+// the workload is closed).
+void save_workload(const Workload& workload, std::ostream& out);
+void save_workload(const Workload& workload, const std::string& path);
+
+[[nodiscard]] Workload load_workload(std::istream& in);
+[[nodiscard]] Workload load_workload(const std::string& path);
 
 }  // namespace wcs::workload

@@ -102,6 +102,45 @@ TEST(GoldenRun, FullReallocReproducesGoldensExactly) {
   }
 }
 
+TEST(GoldenRun, ClosedWorkloadPlaneReproducesGoldensExactly) {
+  // The open-system workload plane's byte-identity gate: a Workload
+  // whose schedule is single-tenant arrive-at-t=0 — whether encoded as
+  // the compact empty defaults or as explicit all-zero arrival times
+  // with a named tenant — must take exactly the legacy closed paths and
+  // land on the golden table, byte for byte, for all six schedulers.
+  workload::CoaddParams cp;
+  cp.num_tasks = 500;
+  cp.seed = 20260805;
+
+  workload::Workload compact;
+  compact.job = workload::generate_coadd(cp);
+  ASSERT_FALSE(compact.open());
+
+  workload::Workload explicit_t0;
+  explicit_t0.job = workload::generate_coadd(cp);
+  explicit_t0.arrivals.arrival_s.assign(explicit_t0.job.num_tasks(), 0.0);
+  explicit_t0.arrivals.tenant_of.assign(explicit_t0.job.num_tasks(), 0);
+  explicit_t0.arrivals.tenants.push_back({"solo", 1});
+  ASSERT_FALSE(explicit_t0.open());
+
+  GridConfig c;
+  c.tiers.num_sites = 5;
+  c.tiers.workers_per_site = 5;
+  c.capacity_files = 3000;
+
+  auto specs = sched::SchedulerSpec::paper_algorithms();
+  ASSERT_EQ(specs.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name() + " (workload plane)");
+    for (const workload::Workload* wl : {&compact, &explicit_t0}) {
+      const auto r = run_once(c, *wl, specs[i], /*topology_seed=*/7);
+      EXPECT_EQ(r.makespan_s, kGolden[i].makespan_s);
+      EXPECT_EQ(r.total_file_transfers(), kGolden[i].file_transfers);
+      EXPECT_EQ(r.total_bytes_transferred(), kGolden[i].bytes_transferred);
+    }
+  }
+}
+
 TEST(GoldenRun, ObservabilityDoesNotPerturbGoldens) {
   // The read-only instrumentation contract, enforced against the golden
   // scenario: a fully-instrumented run must land on the same totals.

@@ -73,8 +73,73 @@ TEST(ReportSchema, WriterWithPhasesValidates) {
 TEST(ReportSchema, RejectsWrongVersion) {
   JsonValue doc = emit(sample_report());
   for (auto& [k, v] : doc.object)
-    if (k == "schema_version") v.number = 2;
+    if (k == "schema_version") v.number = kReportSchemaVersion + 1;
   EXPECT_TRUE(mentions(validate_report(doc), "schema_version"));
+  for (auto& [k, v] : doc.object)
+    if (k == "schema_version") v.number = 0;
+  EXPECT_TRUE(mentions(validate_report(doc), "schema_version"));
+}
+
+// v1 reports (no tenant sections) stay valid under the v2 validator.
+TEST(ReportSchema, AcceptsV1Reports) {
+  JsonValue doc = emit(sample_report());
+  for (auto& [k, v] : doc.object)
+    if (k == "schema_version") v.number = 1;
+  EXPECT_TRUE(validate_report(doc).empty());
+}
+
+// A report with schema-v2 per-tenant sections on every row.
+RunReport tenant_report() {
+  RunReport r = sample_report();
+  for (ReportPoint& pt : r.points)
+    for (ReportRow& row : pt.rows) {
+      row.jain_fairness = 0.9;
+      metrics::TenantResult t;
+      t.name = "astro";
+      t.weight = 3;
+      t.tasks = 40;
+      t.completed = 40;
+      t.first_arrival_s = 10.0;
+      t.time_to_first_task_s = 12.5;
+      t.makespan_s = 1000.0;
+      t.sojourn_mean_s = 50.0;
+      t.sojourn_p50_s = 40.0;
+      t.sojourn_p95_s = 90.0;
+      t.sojourn_p99_s = 120.0;
+      row.tenants.push_back(t);
+      t.name = "bio";
+      t.weight = 1;
+      row.tenants.push_back(t);
+    }
+  return r;
+}
+
+TEST(ReportSchema, TenantSectionsValidateUnderV2) {
+  JsonValue doc = emit(tenant_report());
+  EXPECT_TRUE(validate_report(doc).empty());
+}
+
+TEST(ReportSchema, RejectsTenantSectionsUnderV1) {
+  // Per-tenant sections are a v2 feature; a v1 report carrying them is
+  // version drift, not a valid old report.
+  JsonValue doc = emit(tenant_report());
+  for (auto& [k, v] : doc.object)
+    if (k == "schema_version") v.number = 1;
+  EXPECT_TRUE(mentions(validate_report(doc), "schema_version >= 2"));
+}
+
+TEST(ReportSchema, RejectsBadTenantFields) {
+  RunReport r = tenant_report();
+  r.points[0].rows[0].jain_fairness = 1.5;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "jain_fairness"));
+
+  r = tenant_report();
+  r.points[0].rows[0].tenants[0].weight = 0;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "weight"));
+
+  r = tenant_report();
+  r.points[0].rows[0].tenants[1].name = "";
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "name"));
 }
 
 TEST(ReportSchema, RejectsMissingTopLevelKeys) {

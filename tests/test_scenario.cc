@@ -22,7 +22,8 @@ const std::vector<std::string> kExpected = {
     "fig5_transfers",      "fig6_workers",      "table3_contention",
     "fig7_sites",          "fig8_filesize",     "ablation_combined",
     "ablation_choosetask", "ablation_eviction", "ablation_baselines",
-    "ext_replication",     "ext_churn"};
+    "ext_replication",     "ext_churn",         "open_saturation",
+    "open_tenant_mix",     "open_burst"};
 
 BuildOptions small_build() {
   BuildOptions b;
@@ -49,7 +50,7 @@ TEST(ScenarioRegistry, EveryScenarioBuilds) {
     EXPECT_EQ(spec.name, name);
     EXPECT_FALSE(spec.title.empty()) << name;
     EXPECT_FALSE(spec.metric_name.empty()) << name;
-    EXPECT_EQ(spec.workload.num_tasks, 120u) << name;
+    EXPECT_EQ(spec.workload.coadd.num_tasks, 120u) << name;
     if (spec.is_stats()) {
       EXPECT_TRUE(spec.points.empty()) << name;
     } else {

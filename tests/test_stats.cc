@@ -1,0 +1,116 @@
+// Property tests for the per-tenant statistics helpers behind the
+// schema-v2 run-report sections: Jain's fairness index and the
+// GroupedSamples per-group percentile accumulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace wcs {
+namespace {
+
+TEST(JainFairness, DegenerateInputsArePerfectlyFair) {
+  // Empty, single-party, and all-zero allocations are fair by
+  // convention — a closed single-tenant run must report J == 1.
+  EXPECT_EQ(jain_fairness_index({}), 1.0);
+  std::vector<double> one = {42.0};
+  EXPECT_EQ(jain_fairness_index(one), 1.0);
+  std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_EQ(jain_fairness_index(zeros), 1.0);
+}
+
+TEST(JainFairness, EqualSharesAreOneMonopolyIsOneOverN) {
+  std::vector<double> equal = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(equal), 1.0);
+
+  // One party takes everything: J = 1/n exactly.
+  std::vector<double> monopoly = {12.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(monopoly), 0.25);
+
+  // A skewed-but-not-degenerate split lands strictly between.
+  std::vector<double> skew = {9.0, 3.0, 3.0, 1.0};
+  const double j = jain_fairness_index(skew);
+  EXPECT_GT(j, 0.25);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  // J(c * x) == J(x): the index measures proportion, not magnitude.
+  std::vector<double> x = {1.0, 4.0, 2.0, 7.0};
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(1000.0 * v);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(x), jain_fairness_index(scaled));
+}
+
+TEST(GroupedSamples, SingleTenantPercentilesMatchRawSamples) {
+  GroupedSamples gs(1);
+  std::vector<double> raw = {5, 1, 9, 3, 7};
+  for (double v : raw) gs.add(0, v);
+  EXPECT_EQ(gs.count(0), raw.size());
+  EXPECT_DOUBLE_EQ(gs.mean_of(0), 5.0);
+  EXPECT_DOUBLE_EQ(gs.percentile_of(0, 50), percentile(raw, 50));
+  EXPECT_DOUBLE_EQ(gs.percentile_of(0, 95), percentile(raw, 95));
+  // Empty groups report 0 so tenant rows stay finite.
+  GroupedSamples empty(2);
+  EXPECT_EQ(empty.percentile_of(1, 99), 0.0);
+  EXPECT_EQ(empty.mean_of(1), 0.0);
+}
+
+TEST(GroupedSamples, MergeIsAssociativeOnQuantiles) {
+  // Split a random sample stream across three shards, merge them in
+  // both association orders, and demand identical per-group quantiles
+  // — the property that lets per-tenant sojourn sets be accumulated in
+  // any run order.
+  Rng rng(20260808);
+  std::vector<GroupedSamples> shards(3, GroupedSamples(2));
+  GroupedSamples reference(2);
+  for (int i = 0; i < 300; ++i) {
+    const auto group = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    const double v = rng.uniform_real(0, 1e6);
+    shards[static_cast<std::size_t>(rng.uniform_int(0, 2))].add(group, v);
+    reference.add(group, v);
+  }
+
+  GroupedSamples left(2);  // (a + b) + c
+  left.merge(shards[0]);
+  left.merge(shards[1]);
+  left.merge(shards[2]);
+
+  GroupedSamples right(2);  // a + (b + c)
+  GroupedSamples bc(2);
+  bc.merge(shards[1]);
+  bc.merge(shards[2]);
+  right.merge(shards[0]);
+  right.merge(bc);
+
+  for (std::size_t g = 0; g < 2; ++g) {
+    ASSERT_EQ(left.count(g), right.count(g));
+    for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(left.percentile_of(g, p), right.percentile_of(g, p));
+      // Shard-merge order may differ from arrival order; quantiles
+      // must still match the unsharded reference because percentile()
+      // sorts.
+      EXPECT_DOUBLE_EQ(left.percentile_of(g, p),
+                       reference.percentile_of(g, p));
+    }
+  }
+}
+
+TEST(SubstreamSeed, DerivedStreamsAreDistinctAndStable) {
+  // Per-tenant RNG substreams: same (root, stream) always derives the
+  // same seed; nearby streams and nearby roots all land far apart.
+  const std::uint64_t root = 101;
+  EXPECT_EQ(substream_seed(root, 3), substream_seed(root, 3));
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 16; ++s) seen.push_back(substream_seed(root, s));
+  for (std::uint64_t s = 0; s < 16; ++s)
+    seen.push_back(substream_seed(root + 1, s));
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    for (std::size_t j = i + 1; j < seen.size(); ++j)
+      EXPECT_NE(seen[i], seen[j]) << "collision at " << i << "," << j;
+}
+
+}  // namespace
+}  // namespace wcs

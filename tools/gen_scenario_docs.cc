@@ -73,8 +73,22 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
      << "\n";
   if (!stats)
     md << "- **Metric**: " << spec.find("metric_name")->string << "\n";
-  md << "- **Workload**: Coadd, " << field_num(workload, "num_tasks")
-     << " tasks, " << field_num(workload, "file_size_mb") << " MB files\n";
+  const JsonValue* generator = workload.find("generator");
+  md << "- **Workload**: `"
+     << (generator != nullptr && !generator->string.empty()
+             ? generator->string
+             : "coadd")
+     << "`, " << field_num(workload, "num_tasks") << " tasks, "
+     << field_num(workload, "file_size_mb") << " MB files";
+  if (const JsonValue* open = workload.find("open")) {
+    md << "; open system — " << open->find("arrival_process")->string
+       << " arrivals, mean gap " << field_num(*open, "mean_interarrival_s")
+       << " s";
+    if (const JsonValue* tenants = open->find("tenants");
+        tenants != nullptr && tenants->array.size() > 1)
+      md << ", " << tenants->array.size() << " tenants";
+  }
+  md << "\n";
   const JsonValue* schedulers = spec.find("schedulers");
   if (schedulers != nullptr && !schedulers->array.empty())
     md << "- **Schedulers**: " << scheduler_list(*schedulers) << "\n";
@@ -93,6 +107,16 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
       std::string overrides;
       if (const JsonValue* fs = pt.find("file_size_mb"))
         overrides += "file size " + num(*fs) + " MB";
+      if (const JsonValue* wl = pt.find("workload")) {
+        if (!overrides.empty()) overrides += "; ";
+        overrides += "`" + wl->find("generator")->string + "` workload, " +
+                     wl->find("arrival_process")->string +
+                     " arrivals, mean gap " +
+                     field_num(*wl, "mean_interarrival_s") + " s";
+        if (const JsonValue* tenants = wl->find("tenants");
+            tenants != nullptr && tenants->number > 1)
+          overrides += ", " + num(*tenants) + " tenants";
+      }
       if (const JsonValue* rows = pt.find("row_labels");
           rows != nullptr && !rows->array.empty()) {
         if (!overrides.empty()) overrides += "; ";

@@ -1,4 +1,6 @@
-// report_lint: validate bench run reports against run-report schema v1.
+// report_lint: validate bench run reports against the run-report schema
+// (v1 and v2 — v2 adds the optional per-tenant sections; see
+// obs/run_report.h).
 //
 //   report_lint results/bench_*.json
 //
