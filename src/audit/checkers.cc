@@ -108,6 +108,48 @@ void check_cache_coherence(const CacheAuditSnapshot& snap,
   }
 }
 
+void check_block_store(const BlockStoreAuditSnapshot& snap,
+                       std::vector<Violation>& out) {
+  if (snap.physical_blocks != snap.recount_physical) {
+    std::ostringstream os;
+    os << snap.label << " physical-block counter " << snap.physical_blocks
+       << " != extent-union recount " << snap.recount_physical;
+    report(out, "block-store", os);
+  }
+  if (snap.pinned_blocks != snap.recount_pinned) {
+    std::ostringstream os;
+    os << snap.label << " pinned-block counter " << snap.pinned_blocks
+       << " != pinned extent-union recount " << snap.recount_pinned;
+    report(out, "block-store", os);
+  }
+  if (snap.pinned_blocks > snap.physical_blocks) {
+    std::ostringstream os;
+    os << snap.label << " pins " << snap.pinned_blocks
+       << " blocks but only " << snap.physical_blocks << " are physical";
+    report(out, "block-store", os);
+  }
+  if (snap.physical_blocks > snap.capacity_blocks) {
+    std::ostringstream os;
+    os << snap.label << " over capacity: " << snap.physical_blocks
+       << " physical blocks > capacity " << snap.capacity_blocks;
+    report(out, "block-store", os);
+  }
+  // Ref conservation: the deduplicated union can never exceed the
+  // per-file sum of extent sizes (shared blocks only shrink it).
+  if (snap.recount_physical > snap.file_block_refs) {
+    std::ostringstream os;
+    os << snap.label << " union of resident extents ("
+       << snap.recount_physical << " blocks) exceeds the per-file block "
+       << "sum (" << snap.file_block_refs << ") — refcount books broken";
+    report(out, "block-store", os);
+  }
+  for (const std::string& defect : snap.structural) {
+    std::ostringstream os;
+    os << snap.label << " page books unsound: " << defect;
+    report(out, "block-store", os);
+  }
+}
+
 void check_index_coherence(const IndexTotalsSnapshot& snap,
                            std::vector<Violation>& out) {
   // total_ref is exact integer arithmetic on both sides; total_rest is a

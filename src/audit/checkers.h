@@ -12,6 +12,9 @@
 //                       cancelled remainder
 //   cache-coherence     occupancy <= capacity; pinned <= occupancy;
 //                       LRU/FIFO/MinRef order<->entry structure sound
+//   block-store         physical/pinned block counters == extent-union
+//                       recounts; pinned <= physical <= capacity; union
+//                       <= per-file block-ref sum
 //   index-coherence     scheduler's incremental totals == full recompute
 //   task-lifecycle      pending -> assigned -> running -> completed
 //                       exactly once; placements match worker queues
@@ -89,6 +92,27 @@ struct CacheAuditSnapshot {
 
 void check_cache_coherence(const CacheAuditSnapshot& snap,
                            std::vector<Violation>& out);
+
+// Block-store page accounting (block-mode caches only). The FileCache
+// produces the snapshot (block_audit_snapshot): the incrementally
+// maintained physical/pinned block counters next to a from-scratch
+// recount over the resident files' extents (page books vs cache books),
+// plus the block-ref conservation pair — the union of resident extents
+// can never exceed the per-file block sum, and the gap between them is
+// exactly the deduplicated (shared) block count.
+struct BlockStoreAuditSnapshot {
+  std::string label;  // e.g. "site 3 block store"
+  std::uint64_t capacity_blocks = 0;
+  std::uint64_t physical_blocks = 0;   // incremental counter
+  std::uint64_t recount_physical = 0;  // union of resident extents
+  std::uint64_t pinned_blocks = 0;     // incremental counter
+  std::uint64_t recount_pinned = 0;    // union of pinned extents
+  std::uint64_t file_block_refs = 0;   // sum of extent sizes, resident files
+  std::vector<std::string> structural;  // defects found by the cache itself
+};
+
+void check_block_store(const BlockStoreAuditSnapshot& snap,
+                       std::vector<Violation>& out);
 
 struct IndexTotalsSnapshot {
   std::string label;  // e.g. "site 3"

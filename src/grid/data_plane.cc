@@ -9,6 +9,10 @@ DataPlane::DataPlane(const GridConfig& config, const workload::Job& job,
       bandwidth_estimate_error_(std::move(bandwidth_estimate_error)) {
   flows_ = std::make_unique<net::FlowManager>(sim, topo_.topology, config.flow);
 
+  if (config.block_store)
+    block_map_ =
+        std::make_unique<storage::BlockMap>(job.catalog, *config.block_store);
+
   const auto num_sites = static_cast<std::size_t>(config.tiers.num_sites);
   servers_.reserve(num_sites);
   for (std::size_t s = 0; s < num_sites; ++s) {
@@ -16,18 +20,34 @@ DataPlane::DataPlane(const GridConfig& config, const workload::Job& job,
         SiteId(static_cast<SiteId::underlying_type>(s)), sim, *flows_,
         topo_.data_server_nodes[s], topo_.file_server_node, job.catalog,
         config.capacity_files, config.eviction));
+    if (block_map_) servers_.back()->cache().attach_block_store(block_map_.get());
   }
 
   if (config.replication) {
     std::vector<storage::DataServer*> servers;
     servers.reserve(servers_.size());
     for (const auto& ds : servers_) servers.push_back(ds.get());
+    // Network facts for the hierarchy-aware placements, in site order.
+    std::vector<replication::SiteNetInfo> site_info;
+    site_info.reserve(num_sites);
+    const auto sites_per_man =
+        static_cast<std::size_t>(config.tiers.sites_per_man);
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      const net::Link& up = topo_.topology.link(topo_.site_uplinks[s]);
+      replication::SiteNetInfo info;
+      info.man_group = static_cast<std::uint32_t>(s / sites_per_man);
+      info.uplink_bandwidth_bps = up.bandwidth_bps;
+      info.uplink_latency_s = up.latency_s;
+      site_info.push_back(info);
+    }
     replicator_ = std::make_unique<replication::DataReplicator>(
         *config.replication, sim, *flows_, topo_.file_server_node,
-        job.catalog, std::move(servers));
-    for (const auto& ds : servers_)
-      ds->set_transfer_listener(
-          [this](FileId f) { replicator_->on_file_fetched(f); });
+        job.catalog, std::move(servers), std::move(site_info));
+    for (std::size_t s = 0; s < num_sites; ++s)
+      servers_[s]->set_transfer_listener([this, s](FileId f) {
+        replicator_->on_file_fetched(
+            f, SiteId(static_cast<SiteId::underlying_type>(s)));
+      });
   }
 }
 
@@ -100,6 +120,7 @@ std::vector<metrics::SiteResult> DataPlane::site_results() const {
     site.transfer_s = s.transfer_s;
     site.file_transfers = s.file_transfers;
     site.bytes_transferred = s.bytes_transferred;
+    site.bytes_saved = s.bytes_saved;
     site.cache_hits = s.cache_hits;
     site.evictions = ds->cache().evictions();
     out.push_back(site);

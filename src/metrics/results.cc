@@ -21,6 +21,7 @@ AveragedResult average(std::span<const RunResult> runs) {
     avg.total_file_transfers +=
         static_cast<double>(r.total_file_transfers()) / n;
     avg.total_gigabytes += r.total_bytes_transferred() / 1e9 / n;
+    avg.total_gigabytes_saved += r.total_bytes_saved() / 1e9 / n;
     avg.waiting_hours_per_site += r.waiting_hours_per_site() / n;
     avg.transfer_hours_per_site += r.transfer_hours_per_site() / n;
     avg.replicas_started += static_cast<double>(r.replicas_started) / n;
@@ -30,6 +31,13 @@ AveragedResult average(std::span<const RunResult> runs) {
     avg.makespan_minutes_max =
         std::max(avg.makespan_minutes_max, r.makespan_minutes());
   }
+  // Ratio of the averaged byte totals, not the average of ratios: one run
+  // with tiny traffic cannot skew the series.
+  avg.dedup_ratio =
+      avg.total_gigabytes > 0
+          ? (avg.total_gigabytes + avg.total_gigabytes_saved) /
+                avg.total_gigabytes
+          : 1.0;
 
   // Per-tenant sections: positional mean over the repetitions. All runs
   // of one experiment share a workload, hence a tenant roster.

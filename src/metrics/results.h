@@ -42,6 +42,9 @@ struct SiteResult {
   double transfer_s = 0;
   std::uint64_t file_transfers = 0;
   double bytes_transferred = 0;
+  // Block-mode dedup: bytes demand fetches did NOT move because shared
+  // blocks were already resident (0 in whole-file mode / overlap 0).
+  double bytes_saved = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t evictions = 0;
 };
@@ -90,6 +93,22 @@ struct RunResult {
     double total = 0;
     for (const SiteResult& s : sites) total += s.bytes_transferred;
     return total;
+  }
+
+  [[nodiscard]] double total_bytes_saved() const {
+    double total = 0;
+    for (const SiteResult& s : sites) total += s.bytes_saved;
+    return total;
+  }
+
+  // Logical demand bytes / wire bytes. 1.0 when nothing was deduplicated
+  // (whole-file mode, overlap 0) and by convention when no demand bytes
+  // moved at all.
+  [[nodiscard]] double dedup_ratio() const {
+    const double moved = total_bytes_transferred();
+    const double saved = total_bytes_saved();
+    if (moved <= 0) return 1.0;
+    return (moved + saved) / moved;
   }
 
   // The paper's Figure 5 series: file transfers averaged per data server.
@@ -143,6 +162,9 @@ struct AveragedResult {
   double transfers_per_site = 0;
   double total_file_transfers = 0;
   double total_gigabytes = 0;
+  // Block-mode dedup series (0 GB / ratio 1.0 in whole-file mode).
+  double total_gigabytes_saved = 0;
+  double dedup_ratio = 1.0;
   double waiting_hours_per_site = 0;
   double transfer_hours_per_site = 0;
   double replicas_started = 0;

@@ -18,6 +18,8 @@ ReportRow ReportRow::from(const metrics::AveragedResult& r) {
   row.waiting_hours_per_site = r.waiting_hours_per_site;
   row.transfer_hours_per_site = r.transfer_hours_per_site;
   row.replicas_started = r.replicas_started;
+  row.total_gigabytes_saved = r.total_gigabytes_saved;
+  row.dedup_ratio = r.dedup_ratio;
   row.jain_fairness = r.jain_fairness;
   row.tenants = r.tenants;
   return row;
@@ -61,6 +63,10 @@ void RunReport::write(std::ostream& out) const {
       w.member("waiting_hours_per_site", r.waiting_hours_per_site);
       w.member("transfer_hours_per_site", r.transfer_hours_per_site);
       w.member("replicas_started", r.replicas_started);
+      if (r.total_gigabytes_saved > 0) {
+        w.member("total_gigabytes_saved", r.total_gigabytes_saved);
+        w.member("dedup_ratio", r.dedup_ratio);
+      }
       if (!r.tenants.empty()) {
         w.member("jain_fairness", r.jain_fairness);
         w.key("tenants");
@@ -258,8 +264,23 @@ class Validator {
         complain(rat + ".name", "missing, not a string, or empty");
       require_number("runs", row, 1, rat);
       for (const char* key : kNumericKeys) require_number(key, row, 0.0, rat);
+      check_dedup(row, rat);
       check_tenants(row, rat);
     }
+  }
+
+  // Schema-v2 block-store dedup fields (optional; emitted together, and
+  // a v1 row carrying them is a violation).
+  void check_dedup(const JsonValue& row, const std::string& rat) {
+    const JsonValue* saved = row.find("total_gigabytes_saved");
+    const JsonValue* ratio = row.find("dedup_ratio");
+    if (!saved && !ratio) return;
+    if (version_ < 2) {
+      complain(rat, "dedup fields require schema_version >= 2");
+      return;
+    }
+    require_number("total_gigabytes_saved", row, 0.0, rat);
+    require_number("dedup_ratio", row, 1.0, rat);
   }
 
   // Schema-v2 per-tenant sections (optional; a v1 row carrying them is

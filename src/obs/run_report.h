@@ -33,8 +33,13 @@
 //       first_arrival_s, makespan_s, sojourn_mean_s, sojourn_p50_s,
 //       sojourn_p95_s, sojourn_p99_s: number >= 0,
 //       time_to_first_task_s: number >= -1 (-1 = never assigned) } ]
-// The validator accepts both versions; tenant sections under v1 are a
-// violation (they imply v2).
+// and optional block-store dedup fields on a scheduler row (emitted
+// together, only when the run actually deduplicated bytes; whole-file
+// rows keep the exact v1 shape):
+//   schedulers[i].total_gigabytes_saved   number >= 0
+//   schedulers[i].dedup_ratio             number >= 1
+// The validator accepts both versions; tenant sections or dedup fields
+// under v1 are a violation (they imply v2).
 #pragma once
 
 #include <ostream>
@@ -62,6 +67,10 @@ struct ReportRow {
   double waiting_hours_per_site = 0;
   double transfer_hours_per_site = 0;
   double replicas_started = 0;
+  // Schema v2: block-store dedup series, written only when
+  // total_gigabytes_saved > 0 (whole-file runs keep the v1 row shape).
+  double total_gigabytes_saved = 0;
+  double dedup_ratio = 1.0;
   // Schema v2: per-tenant sections (empty for closed-batch benches).
   double jain_fairness = 1.0;
   std::vector<metrics::TenantResult> tenants;

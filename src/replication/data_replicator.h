@@ -10,11 +10,14 @@
 //
 // The paper argues replication is NECESSARY for task-centric scheduling
 // (to dissolve hot spots) but merely ORTHOGONAL for worker-centric
-// scheduling; bench_ext_replication quantifies both claims.
+// scheduling; bench_ext_replication quantifies both claims. The
+// data_replication_policy scenario (R3) ablates the placement policies
+// against each other across topologies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -30,11 +33,34 @@
 namespace wcs::replication {
 
 enum class Placement {
-  kRandom,      // Ranganathan's DataRandom
-  kLeastLoaded  // Ranganathan's DataLeastLoaded (shortest batch queue)
+  kRandom,       // Ranganathan's DataRandom
+  kLeastLoaded,  // Ranganathan's DataLeastLoaded (shortest batch queue)
+  // Place inside the MAN group whose sites generated the most demand for
+  // the file ("The Impact of Data Replication on Job Scheduling
+  // Performance in Hierarchical Data Grid": replicate down the tier the
+  // requests came from). Ties: lowest group id; within the group, least
+  // loaded then lowest site id.
+  kHierarchicalParent,
+  // DIANA-style network-cost-weighted source selection turned into
+  // placement: minimize (missing bytes / uplink bandwidth + uplink
+  // latency) * (1 + backlog) over candidate sites, so a replica lands
+  // where it is cheapest to deliver AND cheapest to serve from.
+  kNetworkCost,
 };
 
 [[nodiscard]] const char* to_string(Placement placement);
+
+// Parses a CLI/scenario policy name ("random", "least-loaded",
+// "hierarchical", "network-cost"). Returns false on unknown names.
+[[nodiscard]] bool parse_placement(std::string_view name, Placement* out);
+
+// Per-site network facts for the placement policies that price the grid
+// hierarchy (one entry per site, site order).
+struct SiteNetInfo {
+  std::uint32_t man_group = 0;       // site's MAN router index
+  double uplink_bandwidth_bps = 1;   // the site's shared uplink
+  SimTime uplink_latency_s = 0;
+};
 
 struct DataReplicatorParams {
   // A file becomes replication-eligible once this many demand fetches
@@ -54,10 +80,14 @@ class DataReplicator {
     std::uint64_t rounds = 0;
   };
 
+  // `site_info` (site order) feeds the hierarchy-aware placements; when
+  // empty, every site is priced identically in one group (the
+  // random/least-loaded policies never read it).
   DataReplicator(const DataReplicatorParams& params, sim::Simulator& sim,
                  net::FlowManager& flows, NodeId file_server_node,
                  const workload::FileCatalog& catalog,
-                 std::vector<storage::DataServer*> data_servers);
+                 std::vector<storage::DataServer*> data_servers,
+                 std::vector<SiteNetInfo> site_info = {});
 
   DataReplicator(const DataReplicator&) = delete;
   DataReplicator& operator=(const DataReplicator&) = delete;
@@ -70,8 +100,9 @@ class DataReplicator {
   void stop();
 
   // Demand-fetch observation hook; the engine wires every data server's
-  // transfer listener here.
-  void on_file_fetched(FileId file);
+  // transfer listener here. `origin` is the fetching site — the
+  // hierarchical placement aggregates demand per MAN group from it.
+  void on_file_fetched(FileId file, SiteId origin = SiteId(0));
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t popularity(FileId file) const {
@@ -85,15 +116,24 @@ class DataReplicator {
   // (every site already holds it).
   [[nodiscard]] SiteId pick_target(FileId file);
 
+  // Bytes a replica of `file` at `target` would actually move (block
+  // mode prices only the blocks the target does not already cover).
+  [[nodiscard]] Bytes replica_bytes(FileId file, std::size_t target) const;
+
   DataReplicatorParams params_;
   sim::Simulator& sim_;
   net::FlowManager& flows_;
   NodeId file_server_node_;
   const workload::FileCatalog& catalog_;
   std::vector<storage::DataServer*> data_servers_;
+  std::vector<SiteNetInfo> site_info_;  // site order; same size as servers
+  std::uint32_t num_groups_ = 1;
   Rng rng_;
 
   std::unordered_map<FileId, std::size_t> popularity_;
+  // Per-MAN-group demand counts, tracked only for the hierarchical
+  // placement (indexed file -> group -> fetches).
+  std::unordered_map<FileId, std::vector<std::uint32_t>> group_demand_;
   // Files already pushed (or being pushed) this job; one proactive
   // replica per file keeps the mechanism bounded, as in the original
   // scheme's per-popularity-event replication.

@@ -19,6 +19,9 @@
 //   open_saturation     O1        open-system saturation sweep
 //   open_tenant_mix     O2        multi-tenant weight-mix ablation
 //   open_burst          O3        burst-vs-steady arrival processes
+//   data_block_size     R1        dedup vs block size at coadd overlap
+//   data_eviction_dedup R2        eviction policy x content overlap
+//   data_replication_policy R3    replication placement x topology
 //
 // register_builtin_scenarios() is idempotent and must be called before
 // looking any of these up (static registrars would be dropped by the
@@ -46,6 +49,7 @@ void register_paper_scenarios();      // table2, fig3..fig8, table3
 void register_ablation_scenarios();   // A1..A4
 void register_extension_scenarios();  // E1, E2
 void register_open_scenarios();       // O1..O3
+void register_data_scenarios();       // R1..R3
 
 }  // namespace detail
 

@@ -264,6 +264,7 @@ void register_builtin_scenarios() {
     detail::register_ablation_scenarios();
     detail::register_extension_scenarios();
     detail::register_open_scenarios();
+    detail::register_data_scenarios();
     return true;
   }();
   (void)registered;

@@ -24,6 +24,9 @@ struct CliOptions {
   bool dump = false;
   bool flat_index = false;    // --flat-index: reference decision path
   bool full_realloc = false;  // --full-realloc: reference flow rebalancing
+  bool whole_file = false;    // --whole-file-cache: reference data plane
+  double block_size_mb = 0;   // --block-size: override, MB (0 = spec's)
+  std::string replication;    // --replication-policy: none|random|...
   // Open-system workload-plane overrides (empty = leave the spec alone).
   std::string workload;  // --workload: generator name
   std::string tenants;   // --tenants: count or comma-separated weights
@@ -107,6 +110,13 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
       opt.flat_index = true;
     } else if (arg == "--full-realloc") {
       opt.full_realloc = true;
+    } else if (arg == "--whole-file-cache") {
+      opt.whole_file = true;
+    } else if (arg == "--block-size") {
+      opt.block_size_mb = std::stod(next());
+      if (opt.block_size_mb <= 0) usage_error("--block-size must be > 0 MB");
+    } else if (arg == "--replication-policy") {
+      opt.replication = next();
     } else if (arg == "--workload") {
       opt.workload = next();
     } else if (arg == "--tenants") {
@@ -118,9 +128,12 @@ CliOptions parse(const std::string& default_scenario, int argc, char** argv) {
                    "--dump-scenario [NAME]\n         --tasks N --seeds K "
                    "--jobs N --csv PATH --fast --audit\n         --report "
                    "PATH --no-report --trace-out PATH --flat-index\n"
-                   "         --full-realloc --workload NAME\n"
-                   "         --tenants N|W1,W2,... --arrival "
-                   "t0|poisson|diurnal|bursty\n";
+                   "         --full-realloc --whole-file-cache "
+                   "--block-size MB\n"
+                   "         --replication-policy none|random|least-loaded|"
+                   "hierarchical|network-cost\n"
+                   "         --workload NAME --tenants N|W1,W2,... "
+                   "--arrival t0|poisson|diurnal|bursty\n";
       std::exit(0);
     } else {
       usage_error("unknown option " + arg);
@@ -192,6 +205,45 @@ int scenario_main(const std::string& default_scenario, int argc,
   if (opt.full_realloc) {
     spec.base_config.flow.incremental = false;
     for (Point& pt : spec.points) pt.config.flow.incremental = false;
+  }
+
+  // --whole-file-cache: the reference data plane — caches account whole
+  // files, no block sharing. Byte-identical to block mode at content
+  // overlap 0 (the default); the escape hatch pins that equivalence and
+  // serves as the dedup baseline. --block-size resizes the block grid.
+  if (opt.whole_file && opt.block_size_mb > 0)
+    usage_error("--whole-file-cache and --block-size are mutually exclusive");
+  if (opt.whole_file) {
+    spec.base_config.block_store.reset();
+    for (Point& pt : spec.points) pt.config.block_store.reset();
+  } else if (opt.block_size_mb > 0) {
+    auto resize = [&](grid::GridConfig& c) {
+      if (!c.block_store) c.block_store.emplace();
+      c.block_store->block_size = megabytes(opt.block_size_mb);
+    };
+    resize(spec.base_config);
+    for (Point& pt : spec.points) resize(pt.config);
+  }
+
+  // --replication-policy: engage (or disable) the proactive replicator
+  // with the named placement, overriding whatever the scenario chose.
+  if (!opt.replication.empty()) {
+    if (opt.replication == "none") {
+      spec.base_config.replication.reset();
+      for (Point& pt : spec.points) pt.config.replication.reset();
+    } else {
+      replication::Placement placement;
+      if (!replication::parse_placement(opt.replication, &placement))
+        usage_error("unknown replication policy " + opt.replication +
+                    " (want none|random|least-loaded|hierarchical|"
+                    "network-cost)");
+      auto engage = [&](grid::GridConfig& c) {
+        if (!c.replication) c.replication.emplace();
+        c.replication->placement = placement;
+      };
+      engage(spec.base_config);
+      for (Point& pt : spec.points) engage(pt.config);
+    }
   }
 
   // Open-system workload-plane overrides. --tenants/--arrival on the

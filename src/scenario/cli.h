@@ -35,6 +35,16 @@
 //                     generator this implies --workload multi-tenant
 //   --arrival P       arrival process: t0 (closed, default), poisson,
 //                     diurnal, or bursty
+//   --whole-file-cache  account site caches in whole files (the
+//                     pre-block-store reference) instead of the default
+//                     block-granular store (storage/block_store.h); at
+//                     content overlap 0 totals are byte-identical either
+//                     way (docs/data-plane.md); excludes --block-size
+//   --block-size MB   block size for the block-granular store (default
+//                     1 MB); observable only under content overlap
+//   --replication-policy P  replica placement: none (disable), random,
+//                     least-loaded, hierarchical, or network-cost
+//                     (replication/data_replicator.h)
 //
 // WCS_BENCH_FAST=1 in the environment implies --fast (used by CI-style
 // smoke runs); WCS_BENCH_JOBS=N sets the default for --jobs. WCS_AUDIT=1

@@ -23,6 +23,15 @@ void write_config(obs::JsonWriter& w, const grid::GridConfig& c) {
   w.member("capacity_files", static_cast<std::uint64_t>(c.capacity_files));
   w.member("eviction", storage::to_string(c.eviction));
   w.member("estimate_error", c.estimate_error);
+  w.key("block_store");
+  if (c.block_store) {
+    w.begin_object();
+    w.member("block_size_mb", to_megabytes(c.block_store->block_size));
+    w.member("content_overlap", c.block_store->content_overlap);
+    w.end_object();
+  } else {
+    w.null();  // whole-file reference mode
+  }
   w.key("churn");
   if (c.churn) {
     w.begin_object();
@@ -35,11 +44,40 @@ void write_config(obs::JsonWriter& w, const grid::GridConfig& c) {
   w.key("replication");
   if (c.replication) {
     w.begin_object();
+    w.member("placement", replication::to_string(c.replication->placement));
     w.member("popularity_threshold",
              static_cast<std::uint64_t>(c.replication->popularity_threshold));
     w.end_object();
   } else {
     w.null();
+  }
+  w.end_object();
+}
+
+// Full generator block, shared by the spec-level workload and the
+// per-point overrides so both round-trip every parameter a generator
+// actually reads (a per-point override replaces the whole spec).
+void write_workload(obs::JsonWriter& w, const workload::GeneratorSpec& ws) {
+  w.begin_object();
+  w.member("generator", ws.generator);
+  w.member("num_tasks", static_cast<std::uint64_t>(ws.coadd.num_tasks));
+  w.member("file_size_mb", to_megabytes(ws.coadd.file_size));
+  if (ws.open.process != workload::ArrivalProcess::kAtT0 ||
+      ws.open.tenants.size() > 1) {
+    w.key("open");
+    w.begin_object();
+    w.member("arrival_process", workload::to_string(ws.open.process));
+    w.member("mean_interarrival_s", ws.open.mean_interarrival_s);
+    w.key("tenants");
+    w.begin_array();
+    for (const workload::TenantInfo& t : ws.open.tenants) {
+      w.begin_object();
+      w.member("name", t.name);
+      w.member("weight", t.weight);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
   }
   w.end_object();
 }
@@ -57,30 +95,7 @@ void dump_scenario(const ScenarioSpec& spec, std::ostream& out) {
   w.member("metric_name", spec.metric_name);
 
   w.key("workload");
-  w.begin_object();
-  w.member("generator", spec.workload.generator);
-  w.member("num_tasks",
-           static_cast<std::uint64_t>(spec.workload.coadd.num_tasks));
-  w.member("file_size_mb", to_megabytes(spec.workload.coadd.file_size));
-  if (spec.workload.open.process != workload::ArrivalProcess::kAtT0 ||
-      spec.workload.open.tenants.size() > 1) {
-    w.key("open");
-    w.begin_object();
-    w.member("arrival_process",
-             workload::to_string(spec.workload.open.process));
-    w.member("mean_interarrival_s", spec.workload.open.mean_interarrival_s);
-    w.key("tenants");
-    w.begin_array();
-    for (const workload::TenantInfo& t : spec.workload.open.tenants) {
-      w.begin_object();
-      w.member("name", t.name);
-      w.member("weight", t.weight);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-  }
-  w.end_object();
+  write_workload(w, spec.workload);
 
   w.key("schedulers");
   write_schedulers(w, spec.schedulers);
@@ -98,14 +113,7 @@ void dump_scenario(const ScenarioSpec& spec, std::ostream& out) {
     }
     if (pt.workload) {
       w.key("workload");
-      w.begin_object();
-      w.member("generator", pt.workload->generator);
-      w.member("arrival_process",
-               workload::to_string(pt.workload->open.process));
-      w.member("mean_interarrival_s", pt.workload->open.mean_interarrival_s);
-      w.member("tenants", static_cast<std::uint64_t>(
-                              pt.workload->open.tenants.size()));
-      w.end_object();
+      write_workload(w, *pt.workload);
     }
     if (!pt.schedulers.empty()) {
       w.key("schedulers");

@@ -36,6 +36,8 @@ void DataServer::free_batch(Batch* b) {
   b->done = nullptr;
   b->next_index = 0;
   b->in_flight = FlowId::invalid();
+  b->in_flight_bytes = 0;
+  b->in_flight_saved = 0;
   b->next_exec = nullptr;
   pool_.push_back(b);
 }
@@ -82,9 +84,22 @@ void DataServer::continue_batch() {
     }
     // Miss: fetch from the external file server; the batch blocks until
     // the file lands (files within a batch are fetched sequentially, as
-    // the serial data server implies).
+    // the serial data server implies). In block mode only the blocks no
+    // resident file already covers move over the wire — a fully covered
+    // extent still flows (zero payload, path latency only) so service
+    // order is identical in both modes.
+    Bytes want = catalog_.size(f);
+    if (cache_.block_mode()) {
+      const Bytes missing = cache_.missing_bytes(f);
+      b.in_flight_saved =
+          static_cast<double>(cache_.file_bytes(f) - missing);
+      want = missing;
+    } else {
+      b.in_flight_saved = 0;
+    }
+    b.in_flight_bytes = static_cast<double>(want);
     b.in_flight = flows_.start_flow(
-        file_server_node_, node_, catalog_.size(f),
+        file_server_node_, node_, want,
         [this, f](FlowId) { on_file_arrived(f); });
     return;
   }
@@ -119,7 +134,12 @@ void DataServer::on_file_arrived(FileId file) {
   WCS_CHECK_EQ(b.files[b.next_index], file);
   b.in_flight = FlowId::invalid();
   ++stats_.file_transfers;
-  stats_.bytes_transferred += static_cast<double>(catalog_.size(file));
+  // Account what the flow actually carried (computed at fetch start, so
+  // the ledger matches the flow manager byte for byte).
+  stats_.bytes_transferred += b.in_flight_bytes;
+  stats_.bytes_saved += b.in_flight_saved;
+  b.in_flight_bytes = 0;
+  b.in_flight_saved = 0;
   // A proactive replica may have landed the same file while our demand
   // fetch was in flight; the bytes still moved, but the insert is moot.
   if (!cache_.contains(file))

@@ -47,6 +47,9 @@ class DataServer {
     std::uint64_t file_transfers = 0;  // fetches from the file server
     double bytes_transferred = 0;
     std::uint64_t cache_hits = 0;      // files already resident at service
+    // Block mode: bytes a demand fetch did NOT move because blocks shared
+    // with resident files were already on site (0 in whole-file mode).
+    double bytes_saved = 0;
   };
 
   DataServer(SiteId site, sim::Simulator& simulator, net::FlowManager& flows,
@@ -116,6 +119,8 @@ class DataServer {
     std::size_t next_index = 0;      // next file to ensure resident
     std::vector<FileId> pinned;      // pins taken so far
     FlowId in_flight = FlowId::invalid();
+    double in_flight_bytes = 0;      // payload of the in-flight fetch
+    double in_flight_saved = 0;      // dedup saving of that fetch
     Batch* next_exec = nullptr;      // executing-ledger chain
   };
 

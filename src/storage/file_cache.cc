@@ -1,5 +1,6 @@
 #include "storage/file_cache.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -53,10 +54,81 @@ void FileCache::record_access(FileId f) {
   notify(CacheEvent::kAccessed, f);
 }
 
+void FileCache::attach_block_store(const BlockMap* map) {
+  WCS_CHECK(map != nullptr);
+  WCS_CHECK_MSG(resident_count_ == 0,
+                "attach_block_store on a non-empty cache");
+  blocks_ = map;
+  capacity_blocks_ =
+      static_cast<std::uint64_t>(capacity_) * map->blocks_per_file_max();
+}
+
+std::uint64_t FileCache::covered_blocks(FileId f, bool pinned_only) const {
+  const std::uint32_t n = blocks_->blocks(f);
+  if (!blocks_->shared()) return 0;  // disjoint extents never overlap
+  const std::uint32_t stride = blocks_->stride();
+  const std::uint32_t span = blocks_->neighbour_span();
+  const std::size_t num_files = blocks_->num_files();
+  auto qualifies = [&](std::uint32_t id) {
+    if (id >= slots_.size() || !slots_[id].resident) return false;
+    return !pinned_only || slots_[id].pins > 0;
+  };
+  // Nearest qualifying neighbour on each side gives the maximal cover:
+  // extents all have length n, so a closer neighbour's extent strictly
+  // contains the overlap any farther one contributes.
+  std::uint64_t left = 0;   // prefix of f's extent covered from below
+  std::uint64_t right = 0;  // suffix covered from above
+  for (std::uint32_t j = 1; j <= span; ++j) {
+    if (f.value() >= j && qualifies(f.value() - j)) {
+      left = n - static_cast<std::uint64_t>(j) * stride;
+      break;
+    }
+  }
+  for (std::uint32_t j = 1; j <= span; ++j) {
+    if (f.value() + j < num_files && qualifies(f.value() + j)) {
+      right = n - static_cast<std::uint64_t>(j) * stride;
+      break;
+    }
+  }
+  return std::min<std::uint64_t>(n, left + right);
+}
+
+std::uint64_t FileCache::exclusive_blocks(FileId f, bool pinned_only) const {
+  return blocks_->blocks(f) - covered_blocks(f, pinned_only);
+}
+
+Bytes FileCache::missing_bytes(FileId f) const {
+  WCS_CHECK(blocks_ != nullptr);
+  if (contains(f)) return 0;
+  const std::uint64_t missing = exclusive_blocks(f, /*pinned_only=*/false);
+  if (!blocks_->shared()) {
+    // Disjoint extents: an absent file misses its whole (exact) size.
+    return blocks_->file_bytes(f);
+  }
+  return missing * blocks_->block_size();
+}
+
+Bytes FileCache::file_bytes(FileId f) const {
+  WCS_CHECK(blocks_ != nullptr);
+  return blocks_->file_bytes(f);
+}
+
 void FileCache::insert(FileId f) {
   WCS_CHECK_MSG(!contains(f), "file " << f << " already cached");
   Slot& s = slot(f);  // may grow the table; keep the reference local
-  while (resident_count_ >= capacity_) evict_one();
+  if (blocks_ != nullptr) {
+    // Evict until f's uncovered blocks fit. Evicting can uncover blocks
+    // f shares with the victim, so the need is re-derived per round; the
+    // victim leaves the resident set each time, so the loop is finite.
+    std::uint64_t need = exclusive_blocks(f, /*pinned_only=*/false);
+    while (physical_blocks_ + need > capacity_blocks_) {
+      evict_one();
+      need = exclusive_blocks(f, /*pinned_only=*/false);
+    }
+    physical_blocks_ += need;
+  } else {
+    while (resident_count_ >= capacity_) evict_one();
+  }
   WCS_DCHECK(s.pins == 0);
   s.resident = 1;
   link_back(f.value());
@@ -64,13 +136,22 @@ void FileCache::insert(FileId f) {
   notify(CacheEvent::kAdded, f);
 }
 
-bool FileCache::has_insert_room() const {
+bool FileCache::has_insert_room(FileId f) const {
+  if (blocks_ != nullptr) {
+    // Worst case, every unpinned resident is evicted: what remains
+    // physical is exactly the union of pinned extents, and the blocks of
+    // f still covered are those under a pinned neighbour. insert(f)
+    // succeeds iff that end state fits, since its eviction loop stops at
+    // or before it.
+    return pinned_blocks_ + exclusive_blocks(f, /*pinned_only=*/true) <=
+           capacity_blocks_;
+  }
   return resident_count_ < capacity_ ||
          pinned_resident_count_ < resident_count_;
 }
 
 bool FileCache::try_insert(FileId f) {
-  if (!has_insert_room()) return false;
+  if (!has_insert_room(f)) return false;
   insert(f);
   return true;
 }
@@ -110,6 +191,12 @@ void FileCache::evict_one() {
                 "cache full of pinned files (capacity " << capacity_
                 << ") — capacity must cover the concurrent working set");
   Slot& s = slots_[victim.value()];
+  if (blocks_ != nullptr) {
+    // Only the blocks no other resident covers become free (neighbour
+    // scan never consults the victim itself, so compute before the
+    // residency bit drops).
+    physical_blocks_ -= exclusive_blocks(victim, /*pinned_only=*/false);
+  }
   unlink(victim.value());
   s.resident = 0;
   --resident_count_;
@@ -127,14 +214,22 @@ void FileCache::evict_one() {
 void FileCache::pin(FileId f) {
   WCS_CHECK_MSG(contains(f), "pin of absent file " << f);
   Slot& s = slots_[f.value()];
-  if (s.pins++ == 0) ++pinned_resident_count_;
+  if (s.pins++ == 0) {
+    ++pinned_resident_count_;
+    if (blocks_ != nullptr)
+      pinned_blocks_ += exclusive_blocks(f, /*pinned_only=*/true);
+  }
 }
 
 void FileCache::unpin(FileId f) {
   WCS_CHECK_MSG(contains(f), "unpin of absent file " << f);
   Slot& s = slots_[f.value()];
   WCS_CHECK_MSG(s.pins > 0, "unpin of unpinned file " << f);
-  if (--s.pins == 0) --pinned_resident_count_;
+  if (--s.pins == 0) {
+    --pinned_resident_count_;
+    if (blocks_ != nullptr)
+      pinned_blocks_ -= exclusive_blocks(f, /*pinned_only=*/true);
+  }
 }
 
 bool FileCache::pinned(FileId f) const {
@@ -216,6 +311,42 @@ audit::CacheAuditSnapshot FileCache::audit_snapshot(std::string label) const {
   }
   if (tail_ != prev) {
     snap.structural.push_back("eviction order tail does not round-trip");
+  }
+  return snap;
+}
+
+audit::BlockStoreAuditSnapshot FileCache::block_audit_snapshot(
+    std::string label) const {
+  WCS_CHECK(blocks_ != nullptr);
+  audit::BlockStoreAuditSnapshot snap;
+  snap.label = std::move(label);
+  snap.capacity_blocks = capacity_blocks_;
+  snap.physical_blocks = physical_blocks_;
+  snap.pinned_blocks = pinned_blocks_;
+  // From-scratch recount: resident extents in ascending id order are
+  // sorted by first block, so the union is one forward sweep.
+  std::uint64_t physical_end = 0;  // exclusive end of the union so far
+  std::uint64_t pinned_end = 0;
+  bool physical_any = false;
+  bool pinned_any = false;
+  auto accumulate = [](std::uint64_t& total, std::uint64_t& end, bool& any,
+                       const BlockMap::Extent& e) {
+    const std::uint64_t begin =
+        any ? std::max(e.first, end) : e.first;
+    const std::uint64_t stop = e.first + e.count;
+    if (stop > begin) total += stop - begin;
+    end = any ? std::max(end, stop) : stop;
+    any = true;
+  };
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.resident) continue;
+    const BlockMap::Extent e =
+        blocks_->extent(FileId(static_cast<FileId::underlying_type>(i)));
+    snap.file_block_refs += e.count;
+    accumulate(snap.recount_physical, physical_end, physical_any, e);
+    if (s.pins > 0)
+      accumulate(snap.recount_pinned, pinned_end, pinned_any, e);
   }
   return snap;
 }

@@ -22,6 +22,13 @@
 // eviction order. Zero allocations per hit/miss/evict. (The pre-PR-6
 // node-based layout lived behind --legacy-layout for one PR as the A/B
 // baseline and was removed after the flat goldens soaked.)
+//
+// Block mode (attach_block_store, docs/data-plane.md): residency and
+// eviction order stay file-granular, but capacity is accounted in
+// refcounted content BLOCKS, so files whose extents overlap share bytes
+// instead of holding them twice. Whole-file accounting is the reference
+// mode behind --whole-file-cache; with content_overlap == 0 the two are
+// byte-identical (golden-gated).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,7 @@
 #include "common/units.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "storage/block_store.h"
 
 namespace wcs::storage {
 
@@ -80,14 +88,16 @@ class FileCache {
   // GridConfig validation). The file must not be present.
   void insert(FileId f);
 
-  // Insert if an eviction victim exists (or there is room); returns false
-  // and leaves the cache untouched when everything resident is pinned.
-  // Used by opportunistic writers (proactive replication) that must not
-  // abort the simulation on a transiently full cache.
+  // Insert if enough unpinned state can be evicted to make room; returns
+  // false and leaves the cache untouched otherwise. Used by opportunistic
+  // writers (proactive replication) that must not abort the simulation on
+  // a transiently full cache.
   bool try_insert(FileId f);
 
-  // True if insert() would succeed without throwing.
-  [[nodiscard]] bool has_insert_room() const;
+  // True if insert(f) would succeed without throwing. In whole-file mode
+  // the answer is file-independent; in block mode it depends on how much
+  // of f's extent pinned residents already cover.
+  [[nodiscard]] bool has_insert_room(FileId f) const;
 
   // Pin/unpin; pins nest. The file must be present.
   void pin(FileId f);
@@ -110,6 +120,43 @@ class FileCache {
   // order (links <-> residency round-trip). `label` names this cache in
   // violation reports (audit::check_cache_coherence).
   [[nodiscard]] audit::CacheAuditSnapshot audit_snapshot(
+      std::string label) const;
+
+  // --- Block mode --------------------------------------------------------
+  // Attach a block map (must outlive the cache; the cache must be empty).
+  // Capacity becomes capacity_files * blocks-per-file BLOCKS, allocatable
+  // at block granularity: a resident file holds a reference on every
+  // block of its extent, blocks shared with other residents are held
+  // once, and eviction frees only the blocks no other resident covers.
+  // With disjoint extents (content_overlap == 0, uniform catalog) every
+  // decision reduces exactly to the whole-file laws — the golden-run
+  // suite pins byte-identical totals both ways.
+  void attach_block_store(const BlockMap* map);
+
+  [[nodiscard]] bool block_mode() const { return blocks_ != nullptr; }
+  [[nodiscard]] const BlockMap* block_map() const { return blocks_; }
+
+  // Bytes a fetch of `f` must actually move: the blocks of f's extent no
+  // resident file covers. 0 for resident files. Block mode only.
+  [[nodiscard]] Bytes missing_bytes(FileId f) const;
+
+  // Full block-granular size of `f` (>= missing_bytes; the difference is
+  // the dedup saving of a fetch issued now). Block mode only.
+  [[nodiscard]] Bytes file_bytes(FileId f) const;
+
+  [[nodiscard]] std::uint64_t capacity_blocks() const {
+    return capacity_blocks_;
+  }
+  [[nodiscard]] std::uint64_t physical_blocks() const {
+    return physical_blocks_;
+  }
+  [[nodiscard]] std::uint64_t pinned_blocks() const {
+    return pinned_blocks_;
+  }
+
+  // Block-store page accounting snapshot for the invariant auditor
+  // (audit::check_block_store). Block mode only.
+  [[nodiscard]] audit::BlockStoreAuditSnapshot block_audit_snapshot(
       std::string label) const;
 
   // At most one listener; pass nullptr-like (default constructed) to
@@ -163,6 +210,16 @@ class FileCache {
     if (listener_) listener_(e, f);
   }
 
+  // Blocks of f's extent covered by OTHER files satisfying the predicate
+  // (resident, or resident-and-pinned). Because extents are contiguous
+  // ranges of one shared length, only the nearest qualifying neighbour on
+  // each side matters: O(neighbour_span) with no per-block state.
+  [[nodiscard]] std::uint64_t covered_blocks(FileId f,
+                                             bool pinned_only) const;
+  // Blocks of f's extent NOT covered by any other qualifying file.
+  [[nodiscard]] std::uint64_t exclusive_blocks(FileId f,
+                                               bool pinned_only) const;
+
   std::size_t capacity_ = 0;
   EvictionPolicy policy_ = EvictionPolicy::kLru;
 
@@ -171,6 +228,14 @@ class FileCache {
   std::uint32_t tail_ = kNullSlot;  // most recently inserted/accessed
   std::size_t resident_count_ = 0;
   std::size_t pinned_resident_count_ = 0;  // residents with pins > 0
+
+  // Block mode (null in whole-file mode). physical_/pinned_ count
+  // distinct blocks covered by >= 1 resident / pinned-resident file,
+  // maintained incrementally on insert/evict/pin/unpin transitions.
+  const BlockMap* blocks_ = nullptr;
+  std::uint64_t capacity_blocks_ = 0;
+  std::uint64_t physical_blocks_ = 0;
+  std::uint64_t pinned_blocks_ = 0;
 
   std::uint64_t evictions_ = 0;
   CacheListener listener_;

@@ -126,6 +126,56 @@ TEST(CacheCoherence, ForwardsStructuralDefects) {
   EXPECT_TRUE(mentions(v, "eviction structure unsound"));
 }
 
+// --- block store --------------------------------------------------------
+
+TEST(BlockStore, DetectsCounterDriftFromRecount) {
+  BlockStoreAuditSnapshot s;
+  s.label = "site 2 block store";
+  s.capacity_blocks = 100;
+  s.physical_blocks = 50;
+  s.recount_physical = 48;  // incremental counter drifted
+  s.file_block_refs = 60;
+  auto v = run_checker([&](auto& out) { check_block_store(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].checker, "block-store");
+  EXPECT_TRUE(mentions(v, "extent-union recount"));
+  EXPECT_TRUE(mentions(v, "site 2 block store"));
+}
+
+TEST(BlockStore, DetectsPinnedExceedingPhysicalAndOverCapacity) {
+  BlockStoreAuditSnapshot s;
+  s.capacity_blocks = 40;
+  s.physical_blocks = 50;
+  s.recount_physical = 50;
+  s.pinned_blocks = 60;
+  s.recount_pinned = 60;
+  s.file_block_refs = 50;
+  auto v = run_checker([&](auto& out) { check_block_store(s, out); });
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_TRUE(mentions(v, "are physical"));
+  EXPECT_TRUE(mentions(v, "over capacity"));
+}
+
+TEST(BlockStore, DetectsBrokenRefcountBooks) {
+  BlockStoreAuditSnapshot s;
+  s.capacity_blocks = 100;
+  s.physical_blocks = 50;
+  s.recount_physical = 50;
+  s.file_block_refs = 40;  // union larger than the per-file sum
+  auto v = run_checker([&](auto& out) { check_block_store(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_TRUE(mentions(v, "refcount books broken"));
+}
+
+TEST(BlockStore, ForwardsStructuralDefects) {
+  BlockStoreAuditSnapshot s;
+  s.capacity_blocks = 100;
+  s.structural.push_back("extent of file 3 out of range");
+  auto v = run_checker([&](auto& out) { check_block_store(s, out); });
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_TRUE(mentions(v, "page books unsound"));
+}
+
 TEST(CacheCoherence, LiveCacheSnapshotIsClean) {
   for (auto policy :
        {storage::EvictionPolicy::kLru, storage::EvictionPolicy::kFifo,
@@ -487,7 +537,9 @@ TEST(AuditIntegration, AuditedRunIsCleanAndSweeps) {
   EXPECT_EQ(r.tasks_completed, 30u);
   ASSERT_NE(sim.auditor(), nullptr);
   EXPECT_GT(sim.auditor()->sweeps(), 2u);
-  EXPECT_EQ(sim.auditor()->num_checkers(), 7u);
+  // flow-conservation, flow-rates, cache-coherence, block-store,
+  // index-coherence, task-lifecycle, event-kernel, memory-layout.
+  EXPECT_EQ(sim.auditor()->num_checkers(), 8u);
 }
 
 TEST(AuditIntegration, AuditedResultsAreIdentical) {

@@ -142,6 +142,52 @@ TEST(ReportSchema, RejectsBadTenantFields) {
   EXPECT_TRUE(mentions(validate_report(emit(r)), "name"));
 }
 
+// A report with schema-v2 block-store dedup fields on every row.
+RunReport dedup_report() {
+  RunReport r = sample_report();
+  for (ReportPoint& pt : r.points)
+    for (ReportRow& row : pt.rows) {
+      row.total_gigabytes_saved = 42.5;
+      row.dedup_ratio = 1.24;
+    }
+  return r;
+}
+
+TEST(ReportSchema, DedupFieldsValidateUnderV2) {
+  JsonValue doc = emit(dedup_report());
+  ASSERT_TRUE(doc.find("points")
+                  ->array[0]
+                  .find("schedulers")
+                  ->array[0]
+                  .has("dedup_ratio"));
+  EXPECT_TRUE(validate_report(doc).empty());
+}
+
+TEST(ReportSchema, WholeFileRowsOmitDedupFields) {
+  // bytes-saved == 0 (whole-file mode, or block mode with no sharing)
+  // keeps the exact v1 row shape — the optional fields never appear.
+  JsonValue doc = emit(sample_report());
+  const JsonValue& row =
+      doc.find("points")->array[0].find("schedulers")->array[0];
+  EXPECT_FALSE(row.has("total_gigabytes_saved"));
+  EXPECT_FALSE(row.has("dedup_ratio"));
+}
+
+TEST(ReportSchema, RejectsDedupFieldsUnderV1) {
+  JsonValue doc = emit(dedup_report());
+  for (auto& [k, v] : doc.object)
+    if (k == "schema_version") v.number = 1;
+  EXPECT_TRUE(mentions(validate_report(doc), "schema_version >= 2"));
+}
+
+TEST(ReportSchema, RejectsBadDedupFields) {
+  // A dedup ratio below 1 is arithmetically impossible (saved bytes are
+  // non-negative), so the validator treats it as drift.
+  RunReport r = dedup_report();
+  r.points[0].rows[0].dedup_ratio = 0.8;
+  EXPECT_TRUE(mentions(validate_report(emit(r)), "dedup_ratio"));
+}
+
 TEST(ReportSchema, RejectsMissingTopLevelKeys) {
   for (const char* key : {"bench", "config", "total_wall_seconds", "points"}) {
     JsonValue doc = emit(sample_report());

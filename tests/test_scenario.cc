@@ -23,7 +23,8 @@ const std::vector<std::string> kExpected = {
     "fig7_sites",          "fig8_filesize",     "ablation_combined",
     "ablation_choosetask", "ablation_eviction", "ablation_baselines",
     "ext_replication",     "ext_churn",         "open_saturation",
-    "open_tenant_mix",     "open_burst"};
+    "open_tenant_mix",     "open_burst",        "data_block_size",
+    "data_eviction_dedup", "data_replication_policy"};
 
 BuildOptions small_build() {
   BuildOptions b;

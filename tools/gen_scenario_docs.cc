@@ -56,7 +56,44 @@ std::string churn_cell(const JsonValue& config) {
 std::string replication_cell(const JsonValue& config) {
   const JsonValue* repl = config.find("replication");
   if (repl == nullptr || repl->is_null()) return "—";
-  return "threshold " + field_num(*repl, "popularity_threshold");
+  std::string cell;
+  if (const JsonValue* placement = repl->find("placement");
+      placement != nullptr && placement->is_string())
+    cell += "`" + placement->string + "`, ";
+  return cell + "threshold " + field_num(*repl, "popularity_threshold");
+}
+
+std::string block_store_cell(const JsonValue& config) {
+  const JsonValue* bs = config.find("block_store");
+  // Older dumps have no block_store member; both read as the reference
+  // whole-file mode.
+  if (bs == nullptr || bs->is_null()) return "whole-file";
+  std::string cell = field_num(*bs, "block_size_mb") + " MB blocks";
+  if (const JsonValue* overlap = bs->find("content_overlap");
+      overlap != nullptr && overlap->number > 0)
+    cell += ", overlap " + num(*overlap);
+  return cell;
+}
+
+// One-line description of a full generator block (spec-level workload or
+// a per-point override — both carry the same shape).
+std::string workload_desc(const JsonValue& wl) {
+  const JsonValue* generator = wl.find("generator");
+  std::string out = "`";
+  out += generator != nullptr && !generator->string.empty()
+             ? generator->string
+             : "coadd";
+  out += "`, " + field_num(wl, "num_tasks") + " tasks, " +
+         field_num(wl, "file_size_mb") + " MB files";
+  if (const JsonValue* open = wl.find("open")) {
+    out += "; open system — " + open->find("arrival_process")->string +
+           " arrivals, mean gap " + field_num(*open, "mean_interarrival_s") +
+           " s";
+    if (const JsonValue* tenants = open->find("tenants");
+        tenants != nullptr && tenants->array.size() > 1)
+      out += ", " + std::to_string(tenants->array.size()) + " tenants";
+  }
+  return out;
 }
 
 void render_scenario(const JsonValue& spec, const std::string& summary,
@@ -73,22 +110,7 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
      << "\n";
   if (!stats)
     md << "- **Metric**: " << spec.find("metric_name")->string << "\n";
-  const JsonValue* generator = workload.find("generator");
-  md << "- **Workload**: `"
-     << (generator != nullptr && !generator->string.empty()
-             ? generator->string
-             : "coadd")
-     << "`, " << field_num(workload, "num_tasks") << " tasks, "
-     << field_num(workload, "file_size_mb") << " MB files";
-  if (const JsonValue* open = workload.find("open")) {
-    md << "; open system — " << open->find("arrival_process")->string
-       << " arrivals, mean gap " << field_num(*open, "mean_interarrival_s")
-       << " s";
-    if (const JsonValue* tenants = open->find("tenants");
-        tenants != nullptr && tenants->array.size() > 1)
-      md << ", " << tenants->array.size() << " tenants";
-  }
-  md << "\n";
+  md << "- **Workload**: " << workload_desc(workload) << "\n";
   const JsonValue* schedulers = spec.find("schedulers");
   if (schedulers != nullptr && !schedulers->array.empty())
     md << "- **Schedulers**: " << scheduler_list(*schedulers) << "\n";
@@ -99,9 +121,9 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
   if (points != nullptr && !points->array.empty()) {
     md << "\n| " << spec.find("x_axis")->string
        << " | sites | workers/site | capacity (files) | eviction | "
-          "estimate error | churn | data replication | per-point "
-          "overrides |\n";
-    md << "|---|---|---|---|---|---|---|---|---|\n";
+          "block store | estimate error | churn | data replication | "
+          "per-point overrides |\n";
+    md << "|---|---|---|---|---|---|---|---|---|---|\n";
     for (const JsonValue& pt : points->array) {
       const JsonValue& config = *pt.find("config");
       std::string overrides;
@@ -109,13 +131,7 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
         overrides += "file size " + num(*fs) + " MB";
       if (const JsonValue* wl = pt.find("workload")) {
         if (!overrides.empty()) overrides += "; ";
-        overrides += "`" + wl->find("generator")->string + "` workload, " +
-                     wl->find("arrival_process")->string +
-                     " arrivals, mean gap " +
-                     field_num(*wl, "mean_interarrival_s") + " s";
-        if (const JsonValue* tenants = wl->find("tenants");
-            tenants != nullptr && tenants->number > 1)
-          overrides += ", " + num(*tenants) + " tenants";
+        overrides += "workload " + workload_desc(*wl);
       }
       if (const JsonValue* rows = pt.find("row_labels");
           rows != nullptr && !rows->array.empty()) {
@@ -134,6 +150,7 @@ void render_scenario(const JsonValue& spec, const std::string& summary,
          << field_num(config, "workers_per_site") << " | "
          << field_num(config, "capacity_files") << " | "
          << config.find("eviction")->string << " | "
+         << block_store_cell(config) << " | "
          << field_num(config, "estimate_error") << " | " << churn_cell(config)
          << " | " << replication_cell(config) << " | "
          << (overrides.empty() ? "—" : overrides) << " |\n";
